@@ -1,0 +1,113 @@
+// Command evaluate runs the paper's full evaluation campaign against one
+// dataset: it trains the CNN, deploys it instrumented on the simulated
+// core, collects per-category HPC distributions, runs the pairwise Welch
+// t-tests and prints the Table 1/2 layout plus any alarms.
+//
+// Usage:
+//
+//	evaluate -dataset mnist [-runs 300] [-classes 1,2,3,4] [-defense baseline]
+//	         [-alpha 0.05] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evaluate: ")
+	var (
+		dsName  = flag.String("dataset", "mnist", "dataset: mnist or cifar")
+		runs    = flag.Int("runs", 300, "monitored classifications per category")
+		classes = flag.String("classes", "1,2,3,4", "comma-separated category labels")
+		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		alpha   = flag.Float64("alpha", 0.05, "significance level")
+		csvPath = flag.String("csv", "", "write raw distributions to this CSV file")
+	)
+	flag.Parse()
+
+	level, err := parseDefense(*defName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := parseClasses(*classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s, err := repro.NewScenario(repro.ScenarioConfig{Dataset: repro.Dataset(*dsName), Defense: level})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %s, defense %s, test accuracy %.3f\n", *dsName, level, s.TestAccuracy)
+	fmt.Printf("collecting %d classifications per category for categories %v...\n", *runs, cls)
+
+	rep, err := s.Evaluate(repro.EvalConfig{Classes: cls, RunsPerClass: *runs, Alpha: *alpha})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-category event summaries:")
+	repro.RenderSummary(os.Stdout, rep)
+	fmt.Println("\nt-test results (Table 1/2 layout):")
+	if err := repro.TableTTests(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	repro.RenderAlarms(os.Stdout, rep)
+
+	ok, findings := repro.ShapeCheck(rep)
+	fmt.Println("\nreproduction shape check:")
+	for _, f := range findings {
+		fmt.Println("  ", f)
+	}
+	if level == repro.DefenseBaseline && !ok {
+		fmt.Println("   WARNING: baseline shape differs from the paper")
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := repro.WriteCSV(f, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("raw distributions written to %s\n", *csvPath)
+	}
+}
+
+func parseDefense(s string) (repro.DefenseLevel, error) {
+	switch s {
+	case "baseline":
+		return repro.DefenseBaseline, nil
+	case "dense-execution":
+		return repro.DefenseDense, nil
+	case "constant-time":
+		return repro.DefenseConstantTime, nil
+	case "noise-injection":
+		return repro.DefenseNoiseInjection, nil
+	default:
+		return 0, fmt.Errorf("unknown defense %q", s)
+	}
+}
+
+func parseClasses(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad class list %q: %w", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

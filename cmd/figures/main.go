@@ -1,0 +1,94 @@
+// Command figures regenerates every figure of the paper's evaluation as
+// ASCII art (and optionally CSV for external plotting).
+//
+// Usage:
+//
+//	figures -fig all            # everything
+//	figures -fig 1a             # Figure 1(a): avg cache-misses per category, MNIST
+//	figures -fig 2b             # Figure 2(b): perf-stat dump of 8 events
+//	figures -fig 3a -runs 200   # Figure 3(a): cache-miss distributions, MNIST
+//
+// Figure index: 1a, 1b (bar charts), 2b (perf stat), 3a, 3b (MNIST
+// distributions), 4a, 4b (CIFAR distributions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig  = flag.String("fig", "all", "figure id: 1a,1b,2b,3a,3b,4a,4b,all")
+		runs = flag.Int("runs", 300, "classifications per category")
+	)
+	flag.Parse()
+
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+
+	// Reports are shared between figures of the same dataset.
+	var mnistRep, cifarRep *repro.Report
+	needMNIST := want("1a") || want("3a") || want("3b")
+	needCIFAR := want("1b") || want("4a") || want("4b")
+
+	if needMNIST {
+		mnistRep = mustReport(repro.DatasetMNIST, *runs)
+	}
+	if needCIFAR {
+		cifarRep = mustReport(repro.DatasetCIFAR, *runs)
+	}
+
+	if want("1a") {
+		check(repro.RenderFigure1(os.Stdout, "Figure 1(a): average cache-misses per category (MNIST)", mnistRep))
+		fmt.Println()
+	}
+	if want("1b") {
+		check(repro.RenderFigure1(os.Stdout, "Figure 1(b): average cache-misses per category (CIFAR-10)", cifarRep))
+		fmt.Println()
+	}
+	if want("2b") {
+		s, err := repro.DefaultScenario(repro.DatasetMNIST)
+		check(err)
+		_, out, err := repro.Figure2b(s)
+		check(err)
+		fmt.Println("Figure 2(b): hardware events during one classification (perf stat layout)")
+		fmt.Print(out)
+		fmt.Println()
+	}
+	if want("3a") {
+		check(repro.FigureDistributions(os.Stdout, "Figure 3(a): MNIST", mnistRep, repro.EvCacheMisses))
+		fmt.Println()
+	}
+	if want("3b") {
+		check(repro.FigureDistributions(os.Stdout, "Figure 3(b): MNIST", mnistRep, repro.EvBranches))
+		fmt.Println()
+	}
+	if want("4a") {
+		check(repro.FigureDistributions(os.Stdout, "Figure 4(a): CIFAR-10", cifarRep, repro.EvCacheMisses))
+		fmt.Println()
+	}
+	if want("4b") {
+		check(repro.FigureDistributions(os.Stdout, "Figure 4(b): CIFAR-10", cifarRep, repro.EvBranches))
+		fmt.Println()
+	}
+}
+
+func mustReport(d repro.Dataset, runs int) *repro.Report {
+	s, err := repro.DefaultScenario(d)
+	check(err)
+	rep, err := s.Evaluate(repro.EvalConfig{RunsPerClass: runs})
+	check(err)
+	return rep
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

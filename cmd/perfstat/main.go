@@ -1,0 +1,101 @@
+// Command perfstat emulates the paper's measurement interface:
+//
+//	perf stat -e <event_name> -p <process_id>
+//
+// It deploys the instrumented CNN classifier as a simulated process,
+// attaches a PMU to it by pid, observes one classification, and prints the
+// counts in perf-stat layout — reproducing Figure 2(b), including the
+// multiplexing of 8 requested events onto 6 HPC registers.
+//
+// Usage:
+//
+//	perfstat [-dataset mnist] [-e branches,cache-misses,...] [-runs 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/hpc"
+	"repro/internal/march"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perfstat: ")
+	var (
+		dsName = flag.String("dataset", "mnist", "dataset: mnist or cifar")
+		evList = flag.String("e", strings.Join(eventNames(), ","), "comma-separated event list")
+		runs   = flag.Int("runs", 1, "classifications to observe (averaged)")
+	)
+	flag.Parse()
+
+	s, err := repro.DefaultScenario(repro.Dataset(*dsName))
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := hpc.ParseEventList(*evList)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy the classifier as a process and attach by pid, as the
+	// paper's Evaluator does.
+	registry := hpc.NewRegistry()
+	proc, err := registry.Spawn("cnn-classifier", s.Engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pmu, err := registry.Attach(proc.PID, hpc.DefaultCounters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pmu.Program(events...); err != nil {
+		log.Fatal(err)
+	}
+	groups := (len(events) + pmu.Registers() - 1) / pmu.Registers()
+	slices := groups * *runs
+	if slices < 1 {
+		slices = 1
+	}
+	pools, err := s.ClassPools(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imgs := pools[1]
+
+	fmt.Printf("attached to pid %d (%s)\n", proc.PID, proc.Name)
+	if pmu.Multiplexed() {
+		fmt.Printf("note: %d events on %d registers -> multiplexing across %d groups (scaled counts)\n",
+			len(events), pmu.Registers(), groups)
+	}
+	var classifyErr error
+	prof, err := pmu.Measure(slices, func(i int) {
+		if _, err := s.Target.Classify(imgs[i%len(imgs)]); err != nil {
+			classifyErr = err
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if classifyErr != nil {
+		log.Fatal(classifyErr)
+	}
+	perRun := hpc.Profile{}
+	for e, v := range prof {
+		perRun[e] = v / float64(slices)
+	}
+	fmt.Printf("\n Performance counter stats for one classification (pid %d):\n\n", proc.PID)
+	fmt.Print(hpc.FormatStat(perRun))
+}
+
+func eventNames() []string {
+	var names []string
+	for _, e := range march.AllEvents() {
+		names = append(names, e.String())
+	}
+	return names
+}

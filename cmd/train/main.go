@@ -1,0 +1,91 @@
+// Command train fits one of the paper's two CNNs on its synthetic dataset
+// and writes the trained model to a gob file for reuse by the other tools.
+//
+// Usage:
+//
+//	train -dataset mnist -out mnist.gob [-epochs 2] [-seed 1] [-perclass 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+	var (
+		dsName   = flag.String("dataset", "mnist", "dataset: mnist or cifar")
+		out      = flag.String("out", "", "output model file (gob); empty = train only")
+		epochs   = flag.Int("epochs", 2, "SGD epochs")
+		seed     = flag.Int64("seed", 1, "random seed")
+		perClass = flag.Int("perclass", 120, "training images per class")
+		lr       = flag.Float64("lr", 0, "learning rate (0 = per-dataset default)")
+	)
+	flag.Parse()
+
+	var (
+		arch nn.Arch
+		gen  func(dataset.Config) (*dataset.Set, *dataset.Set, error)
+	)
+	switch *dsName {
+	case "mnist":
+		arch = nn.MNISTArch()
+		gen = dataset.MNISTLike
+		if *lr == 0 {
+			*lr = 0.05
+		}
+	case "cifar":
+		arch = nn.CIFARArch()
+		gen = dataset.CIFARLike
+		if *lr == 0 {
+			*lr = 0.01
+		}
+	default:
+		log.Fatalf("unknown dataset %q (want mnist or cifar)", *dsName)
+	}
+
+	train, test, err := gen(dataset.Config{PerClassTrain: *perClass, PerClassTest: *perClass / 2, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dataset.Describe(train))
+
+	net, err := nn.Build(arch, rand.New(rand.NewSource(*seed+1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d parameters\n", arch.Name, net.ParamCount())
+	err = nn.Train(net, train.Inputs(), train.Labels(), nn.TrainConfig{
+		Epochs: *epochs, BatchSize: 16, LR: *lr, Momentum: 0.9, Seed: *seed + 2,
+		Progress: func(ep int, loss, acc float64) {
+			fmt.Printf("epoch %d: loss %.4f train-acc %.3f\n", ep, loss, acc)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := nn.Accuracy(net, test.Inputs(), test.Labels())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test accuracy: %.3f\n", acc)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := nn.SaveModel(f, arch, net); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model written to %s\n", *out)
+	}
+}

@@ -1,0 +1,122 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hpc"
+	"repro/internal/march"
+	"repro/internal/stats"
+)
+
+// KNN is a k-nearest-neighbour attacker over HPC profiles: a
+// non-parametric alternative to the Gaussian template attack, robust when
+// per-class event distributions are skewed or multi-modal. Features are
+// standardized per event (z-scores over the profiling set) so events of
+// wildly different magnitudes (cycles vs cache-misses) contribute
+// comparably to the distance.
+type KNN struct {
+	k       int
+	events  []march.Event
+	mean    map[march.Event]float64
+	std     map[march.Event]float64
+	points  [][]float64
+	labels  []int
+	classes []int
+}
+
+// NewKNN fits a k-NN attacker from labelled profiles. k defaults to 5 and
+// is clamped to the training size.
+func NewKNN(k int, events []march.Event, samples map[int][]hpc.Profile) (*KNN, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("attack: kNN needs at least one event")
+	}
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("attack: kNN needs at least 2 classes, got %d", len(samples))
+	}
+	if k <= 0 {
+		k = 5
+	}
+	a := &KNN{k: k, events: append([]march.Event(nil), events...)}
+	for cls := range samples {
+		a.classes = append(a.classes, cls)
+	}
+	sort.Ints(a.classes)
+
+	// Standardization statistics per event over the whole profiling set.
+	a.mean = map[march.Event]float64{}
+	a.std = map[march.Event]float64{}
+	for _, e := range events {
+		var all []float64
+		for _, profs := range samples {
+			for _, p := range profs {
+				all = append(all, p.Get(e))
+			}
+		}
+		a.mean[e] = stats.Mean(all)
+		sd := stats.StdDev(all)
+		if sd < 1e-9 {
+			sd = 1
+		}
+		a.std[e] = sd
+	}
+	for _, cls := range a.classes {
+		for _, p := range samples[cls] {
+			a.points = append(a.points, a.vector(p))
+			a.labels = append(a.labels, cls)
+		}
+	}
+	if a.k > len(a.points) {
+		a.k = len(a.points)
+	}
+	return a, nil
+}
+
+// vector standardizes a profile into feature space.
+func (a *KNN) vector(p hpc.Profile) []float64 {
+	v := make([]float64, len(a.events))
+	for i, e := range a.events {
+		v[i] = (p.Get(e) - a.mean[e]) / a.std[e]
+	}
+	return v
+}
+
+// Classify returns the majority class among the k nearest profiling
+// points (ties broken toward the nearer neighbour set).
+func (a *KNN) Classify(p hpc.Profile) int {
+	q := a.vector(p)
+	type nb struct {
+		d   float64
+		cls int
+	}
+	nbs := make([]nb, len(a.points))
+	for i, pt := range a.points {
+		var d float64
+		for j := range q {
+			diff := q[j] - pt[j]
+			d += diff * diff
+		}
+		nbs[i] = nb{d: math.Sqrt(d), cls: a.labels[i]}
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].d < nbs[j].d })
+	votes := map[int]int{}
+	best, bestVotes, bestDist := a.labels[0], -1, math.Inf(1)
+	closest := map[int]float64{}
+	for i := 0; i < a.k; i++ {
+		cls := nbs[i].cls
+		votes[cls]++
+		if _, ok := closest[cls]; !ok {
+			closest[cls] = nbs[i].d
+		}
+	}
+	for cls, v := range votes {
+		if v > bestVotes || (v == bestVotes && closest[cls] < bestDist) {
+			best, bestVotes, bestDist = cls, v, closest[cls]
+		}
+	}
+	return best
+}
+
+// K returns the effective neighbourhood size.
+func (a *KNN) K() int { return a.k }

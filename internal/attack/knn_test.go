@@ -1,0 +1,134 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hpc"
+	"repro/internal/march"
+)
+
+func knnSamples(rng *rand.Rand, means map[int][2]float64, perClass int) map[int][]hpc.Profile {
+	out := map[int][]hpc.Profile{}
+	for cls, m := range means {
+		for i := 0; i < perClass; i++ {
+			out[cls] = append(out[cls], gaussianProfile(rng, m[0], m[1]))
+		}
+	}
+	return out
+}
+
+func TestNewKNNValidation(t *testing.T) {
+	if _, err := NewKNN(3, nil, map[int][]hpc.Profile{0: nil, 1: nil}); err == nil {
+		t.Fatal("empty event list accepted")
+	}
+	if _, err := NewKNN(3, []march.Event{march.EvCycles}, map[int][]hpc.Profile{0: nil}); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestKNNDefaultsAndClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := knnSamples(rng, map[int][2]float64{0: {100, 1000}, 1: {300, 1000}}, 2)
+	a, err := NewKNN(0, []march.Event{march.EvCacheMisses}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k defaults to 5 but clamps to the 4 available points.
+	if a.K() != 4 {
+		t.Fatalf("k = %d, want clamped 4", a.K())
+	}
+}
+
+func TestKNNRecoversWellSeparatedClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	means := map[int][2]float64{0: {100, 5000}, 1: {200, 5030}, 2: {320, 4980}}
+	events := []march.Event{march.EvCacheMisses, march.EvBranches}
+	a, err := NewKNN(5, events, knnSamples(rng, means, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := NewConfusionMatrix([]int{0, 1, 2})
+	for cls, m := range means {
+		for i := 0; i < 40; i++ {
+			cm.Record(cls, a.Classify(gaussianProfile(rng, m[0], m[1])))
+		}
+	}
+	if cm.Accuracy() < 0.9 {
+		t.Fatalf("kNN accuracy = %.3f, want >= 0.9", cm.Accuracy())
+	}
+}
+
+func TestKNNStandardizationMakesScalesComparable(t *testing.T) {
+	// The cycles event is ~10⁶× larger than cache-misses; without
+	// standardization it would dominate the distance and hide the
+	// informative small event. Classes differ ONLY in cache-misses.
+	rng := rand.New(rand.NewSource(3))
+	mk := func(miss float64) hpc.Profile {
+		return hpc.Profile{
+			march.EvCacheMisses: miss + rng.NormFloat64()*3,
+			march.EvCycles:      2e9 + rng.NormFloat64()*1e6, // uninformative
+		}
+	}
+	samples := map[int][]hpc.Profile{}
+	for i := 0; i < 40; i++ {
+		samples[0] = append(samples[0], mk(100))
+		samples[1] = append(samples[1], mk(200))
+	}
+	a, err := NewKNN(5, []march.Event{march.EvCacheMisses, march.EvCycles}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < 50; i++ {
+		if a.Classify(mk(100)) == 0 {
+			correct++
+		}
+		if a.Classify(mk(200)) == 1 {
+			correct++
+		}
+	}
+	if correct < 90 {
+		t.Fatalf("standardized kNN got %d/100 on scale-mismatched events", correct)
+	}
+}
+
+func TestKNNAgreesWithTemplateOnGaussians(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	means := map[int][2]float64{0: {100, 5000}, 1: {260, 5100}}
+	events := []march.Event{march.EvCacheMisses, march.EvBranches}
+	samples := knnSamples(rng, means, 60)
+
+	prof, err := NewProfiler(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cls, ps := range samples {
+		for _, p := range ps {
+			prof.Add(cls, p)
+		}
+	}
+	tpl, err := prof.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := NewKNN(7, events, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		cls := i % 2
+		m := means[cls]
+		p := gaussianProfile(rng, m[0], m[1])
+		t1, _ := tpl.Classify(p)
+		t2 := knn.Classify(p)
+		if t1 == t2 {
+			agree++
+		}
+	}
+	if agree < 90 {
+		t.Fatalf("kNN and template agree on only %d/%d clean draws", agree, trials)
+	}
+}

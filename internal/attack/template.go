@@ -1,0 +1,160 @@
+// Package attack demonstrates that the leakage the Evaluator flags is
+// exploitable: a Gaussian template attack that recovers the input category
+// of a classification from its HPC profile alone.
+//
+// This is the adversary the paper's threat model warns about (following
+// Wei et al.'s input-recovery direction): an observer with access to the
+// performance counters of the machine — but not to the classifier's inputs
+// or internals — profiles the per-category distributions of HPC events
+// once, then infers the category of every subsequent private input.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hpc"
+	"repro/internal/march"
+	"repro/internal/stats"
+)
+
+// Template is the profiled model of one category: per-event mean and
+// variance of the observed counts.
+type Template struct {
+	Class    int
+	Mean     map[march.Event]float64
+	Variance map[march.Event]float64
+	N        int
+}
+
+// Profiler accumulates labelled profiles during the profiling phase.
+type Profiler struct {
+	events  []march.Event
+	samples map[int][]hpc.Profile
+}
+
+// NewProfiler creates a profiler over the given events.
+func NewProfiler(events []march.Event) (*Profiler, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("attack: profiler needs at least one event")
+	}
+	return &Profiler{events: append([]march.Event(nil), events...), samples: map[int][]hpc.Profile{}}, nil
+}
+
+// Add records one labelled observation.
+func (p *Profiler) Add(class int, prof hpc.Profile) {
+	p.samples[class] = append(p.samples[class], prof)
+}
+
+// Build fits Gaussian templates; every class needs at least two samples.
+func (p *Profiler) Build() (*Attacker, error) {
+	if len(p.samples) < 2 {
+		return nil, fmt.Errorf("attack: need profiles for at least 2 classes, got %d", len(p.samples))
+	}
+	var classes []int
+	for cls := range p.samples {
+		classes = append(classes, cls)
+	}
+	sort.Ints(classes)
+	var templates []Template
+	for _, cls := range classes {
+		obs := p.samples[cls]
+		if len(obs) < 2 {
+			return nil, fmt.Errorf("attack: class %d has %d profiles, need at least 2", cls, len(obs))
+		}
+		t := Template{Class: cls, Mean: map[march.Event]float64{}, Variance: map[march.Event]float64{}, N: len(obs)}
+		for _, e := range p.events {
+			xs := make([]float64, len(obs))
+			for i, o := range obs {
+				xs[i] = o.Get(e)
+			}
+			t.Mean[e] = stats.Mean(xs)
+			v := stats.Variance(xs)
+			if v < 1e-9 {
+				v = 1e-9 // regularize constant channels
+			}
+			t.Variance[e] = v
+		}
+		templates = append(templates, t)
+	}
+	return &Attacker{events: p.events, templates: templates}, nil
+}
+
+// Attacker classifies unlabelled HPC profiles against the templates.
+type Attacker struct {
+	events    []march.Event
+	templates []Template
+}
+
+// Templates returns the fitted templates (read-only view).
+func (a *Attacker) Templates() []Template { return a.templates }
+
+// Classify returns the maximum-likelihood class for a profile, along with
+// the per-class log-likelihoods (diagonal Gaussian model).
+func (a *Attacker) Classify(prof hpc.Profile) (int, map[int]float64) {
+	scores := make(map[int]float64, len(a.templates))
+	best := a.templates[0].Class
+	bestLL := math.Inf(-1)
+	for _, t := range a.templates {
+		ll := 0.0
+		for _, e := range a.events {
+			x := prof.Get(e)
+			d := x - t.Mean[e]
+			ll += -0.5*math.Log(2*math.Pi*t.Variance[e]) - d*d/(2*t.Variance[e])
+		}
+		scores[t.Class] = ll
+		if ll > bestLL {
+			bestLL, best = ll, t.Class
+		}
+	}
+	return best, scores
+}
+
+// ConfusionMatrix tallies attack outcomes: Matrix[true][predicted].
+type ConfusionMatrix struct {
+	Classes []int
+	Matrix  map[int]map[int]int
+	Total   int
+	Correct int
+}
+
+// NewConfusionMatrix builds an empty matrix over the classes.
+func NewConfusionMatrix(classes []int) *ConfusionMatrix {
+	cm := &ConfusionMatrix{Classes: append([]int(nil), classes...), Matrix: map[int]map[int]int{}}
+	sort.Ints(cm.Classes)
+	for _, c := range cm.Classes {
+		cm.Matrix[c] = map[int]int{}
+	}
+	return cm
+}
+
+// Record tallies one attack outcome.
+func (cm *ConfusionMatrix) Record(truth, predicted int) {
+	if _, ok := cm.Matrix[truth]; !ok {
+		cm.Matrix[truth] = map[int]int{}
+		cm.Classes = append(cm.Classes, truth)
+		sort.Ints(cm.Classes)
+	}
+	cm.Matrix[truth][predicted]++
+	cm.Total++
+	if truth == predicted {
+		cm.Correct++
+	}
+}
+
+// Accuracy returns the fraction of correct predictions (0 when empty).
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	if cm.Total == 0 {
+		return 0
+	}
+	return float64(cm.Correct) / float64(cm.Total)
+}
+
+// ChanceLevel returns 1/numClasses — the accuracy of random guessing.
+func (cm *ConfusionMatrix) ChanceLevel() float64 {
+	if len(cm.Classes) == 0 {
+		return 0
+	}
+	return 1 / float64(len(cm.Classes))
+}

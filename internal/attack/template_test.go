@@ -1,0 +1,162 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hpc"
+	"repro/internal/march"
+)
+
+func gaussianProfile(rng *rand.Rand, missMean, branchMean float64) hpc.Profile {
+	return hpc.Profile{
+		march.EvCacheMisses: missMean + rng.NormFloat64()*5,
+		march.EvBranches:    branchMean + rng.NormFloat64()*50,
+	}
+}
+
+func TestNewProfilerValidation(t *testing.T) {
+	if _, err := NewProfiler(nil); err == nil {
+		t.Fatal("empty event list accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p, _ := NewProfiler([]march.Event{march.EvCacheMisses})
+	if _, err := p.Build(); err == nil {
+		t.Fatal("no classes accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	p.Add(0, gaussianProfile(rng, 100, 1000))
+	p.Add(0, gaussianProfile(rng, 100, 1000))
+	p.Add(1, gaussianProfile(rng, 200, 1000))
+	if _, err := p.Build(); err == nil {
+		t.Fatal("class with a single profile accepted")
+	}
+}
+
+func TestAttackRecoversWellSeparatedClasses(t *testing.T) {
+	events := []march.Event{march.EvCacheMisses, march.EvBranches}
+	p, err := NewProfiler(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	means := map[int][2]float64{0: {100, 5000}, 1: {200, 5030}, 2: {320, 4980}}
+	for cls, m := range means {
+		for i := 0; i < 50; i++ {
+			p.Add(cls, gaussianProfile(rng, m[0], m[1]))
+		}
+	}
+	atk, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atk.Templates()) != 3 {
+		t.Fatalf("templates = %d, want 3", len(atk.Templates()))
+	}
+	cm := NewConfusionMatrix([]int{0, 1, 2})
+	for cls, m := range means {
+		for i := 0; i < 40; i++ {
+			pred, scores := atk.Classify(gaussianProfile(rng, m[0], m[1]))
+			if len(scores) != 3 {
+				t.Fatalf("scores over %d classes", len(scores))
+			}
+			cm.Record(cls, pred)
+		}
+	}
+	if cm.Accuracy() < 0.95 {
+		t.Fatalf("attack accuracy = %.3f on well-separated classes, want >= 0.95", cm.Accuracy())
+	}
+	if cm.ChanceLevel() != 1.0/3 {
+		t.Fatalf("chance level = %v", cm.ChanceLevel())
+	}
+}
+
+func TestAttackAtChanceForIdenticalDistributions(t *testing.T) {
+	events := []march.Event{march.EvCacheMisses}
+	p, _ := NewProfiler(events)
+	rng := rand.New(rand.NewSource(3))
+	for cls := 0; cls < 2; cls++ {
+		for i := 0; i < 100; i++ {
+			p.Add(cls, gaussianProfile(rng, 150, 1000)) // same distribution
+		}
+	}
+	atk, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := NewConfusionMatrix([]int{0, 1})
+	for cls := 0; cls < 2; cls++ {
+		for i := 0; i < 200; i++ {
+			pred, _ := atk.Classify(gaussianProfile(rng, 150, 1000))
+			cm.Record(cls, pred)
+		}
+	}
+	// Accuracy should hover near 50%; anything above 65% would mean the
+	// attack invents structure that is not there.
+	if cm.Accuracy() > 0.65 {
+		t.Fatalf("attack accuracy = %.3f on identical distributions", cm.Accuracy())
+	}
+}
+
+func TestConstantChannelRegularized(t *testing.T) {
+	// A zero-variance event must not produce NaN/∞ likelihoods.
+	p, _ := NewProfiler([]march.Event{march.EvCacheMisses})
+	for cls := 0; cls < 2; cls++ {
+		for i := 0; i < 3; i++ {
+			p.Add(cls, hpc.Profile{march.EvCacheMisses: float64(100 * (cls + 1))})
+		}
+	}
+	atk, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, scores := atk.Classify(hpc.Profile{march.EvCacheMisses: 199})
+	if pred != 1 {
+		t.Fatalf("pred = %d, want 1 (closest template)", pred)
+	}
+	for cls, s := range scores {
+		if s != s { // NaN check
+			t.Fatalf("class %d score is NaN", cls)
+		}
+	}
+}
+
+func TestConfusionMatrixRecordUnknownClass(t *testing.T) {
+	cm := NewConfusionMatrix([]int{0})
+	cm.Record(5, 5)
+	if cm.Accuracy() != 1 || len(cm.Classes) != 2 {
+		t.Fatalf("matrix after unknown class: acc=%v classes=%v", cm.Accuracy(), cm.Classes)
+	}
+	empty := NewConfusionMatrix(nil)
+	if empty.Accuracy() != 0 || empty.ChanceLevel() != 0 {
+		t.Fatal("empty matrix accessors wrong")
+	}
+}
+
+func TestQuickAttackPrefersNearestTemplate(t *testing.T) {
+	// With equal variances, classification must pick the class whose mean
+	// is closest to the observation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := NewProfiler([]march.Event{march.EvCacheMisses})
+		m0 := 100 + rng.Float64()*50
+		m1 := 300 + rng.Float64()*50
+		for i := 0; i < 30; i++ {
+			p.Add(0, hpc.Profile{march.EvCacheMisses: m0 + rng.NormFloat64()*4})
+			p.Add(1, hpc.Profile{march.EvCacheMisses: m1 + rng.NormFloat64()*4})
+		}
+		atk, err := p.Build()
+		if err != nil {
+			return false
+		}
+		predLo, _ := atk.Classify(hpc.Profile{march.EvCacheMisses: m0})
+		predHi, _ := atk.Classify(hpc.Profile{march.EvCacheMisses: m1})
+		return predLo == 0 && predHi == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package core implements the paper's primary contribution: the Evaluator
+// that decides whether a deployed CNN classifier leaks its input category
+// through Hardware Performance Counters.
+//
+// The Evaluator (paper §4) operates with administrative privilege but no
+// knowledge of the model internals:
+//
+//  1. It monitors HPC events during classifications of each input
+//     category individually, producing per-category distributions of each
+//     event.
+//  2. It runs a Welch t-test on every pair of category distributions per
+//     event at 95% confidence.
+//  3. It raises an alarm when a null hypothesis is rejected — the event
+//     distinguishes the categories, so an adversary could recover the
+//     input category from the side channel.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hpc"
+	"repro/internal/march"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Target is the classifier under evaluation: the Evaluator can trigger
+// classifications and observe the hardware they run on, nothing else.
+type Target interface {
+	// Classify runs one inference on the target's simulated core.
+	Classify(img *tensor.Tensor) (int, error)
+	// Engine exposes the simulated core the PMU attaches to.
+	Engine() *march.Engine
+}
+
+// Method selects the hypothesis test the Evaluator applies.
+type Method int
+
+// Hypothesis-testing methods.
+const (
+	// MethodWelch is the paper's test: Welch's unequal-variance t-test.
+	MethodWelch Method = iota
+	// MethodMannWhitney is a nonparametric extension: the rank-sum test,
+	// robust to the non-Gaussian tails HPC counts can have.
+	MethodMannWhitney
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodWelch:
+		return "welch-t"
+	case MethodMannWhitney:
+		return "mann-whitney-u"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Config controls an evaluation campaign.
+type Config struct {
+	// Events to monitor; default cache-misses and branches (the paper's
+	// Tables 1 and 2).
+	Events []march.Event
+	// Method selects the hypothesis test; default MethodWelch (the
+	// paper's choice).
+	Method Method
+	// Alpha is the significance level; default 0.05 (95% confidence).
+	Alpha float64
+	// RunsPerClass is how many classifications are observed per category;
+	// default 100.
+	RunsPerClass int
+	// WarmupRuns are unmeasured classifications before collection so the
+	// simulated caches and predictors reach steady state; default 3.
+	WarmupRuns int
+	// Registers bounds simultaneously-counted events (PMU constraint);
+	// default hpc.DefaultCounters.
+	Registers int
+	// HolmCorrection additionally reports family-wise-corrected decisions
+	// across all pairs of one event (an extension beyond the paper).
+	HolmCorrection bool
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Events) == 0 {
+		c.Events = []march.Event{march.EvCacheMisses, march.EvBranches}
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.05
+	}
+	if c.RunsPerClass <= 0 {
+		c.RunsPerClass = 100
+	}
+	if c.WarmupRuns < 0 {
+		c.WarmupRuns = 0
+	} else if c.WarmupRuns == 0 {
+		c.WarmupRuns = 3
+	}
+	if c.Registers <= 0 {
+		c.Registers = hpc.DefaultCounters
+	}
+	return c
+}
+
+// Distributions holds the per-event, per-category observations collected
+// in step 1 of the paper's methodology.
+type Distributions struct {
+	Events  []march.Event
+	Classes []int
+	// Samples[event][class] is the observed event-count series.
+	Samples map[march.Event]map[int][]float64
+}
+
+// Get returns one distribution (nil if absent).
+func (d *Distributions) Get(e march.Event, class int) []float64 {
+	if m, ok := d.Samples[e]; ok {
+		return m[class]
+	}
+	return nil
+}
+
+// Summary returns descriptive statistics for one distribution.
+func (d *Distributions) Summary(e march.Event, class int) stats.Summary {
+	return stats.Summarize(d.Get(e, class))
+}
+
+// PairTest is one t-test between two category distributions of one event.
+type PairTest struct {
+	Event          march.Event
+	ClassA, ClassB int
+	Result         stats.TTestResult
+	EffectSize     float64 // Cohen's d
+	// HolmReject is the family-wise-corrected decision (only meaningful
+	// when Config.HolmCorrection was set).
+	HolmReject bool
+}
+
+// Distinguishable reports rejection at the configured alpha.
+func (p PairTest) Distinguishable(alpha float64) bool { return p.Result.Significant(alpha) }
+
+// Alarm is raised for every distinguishable pair — the Evaluator's output.
+type Alarm struct {
+	Event          march.Event
+	ClassA, ClassB int
+	T, P           float64
+}
+
+// String renders the alarm message.
+func (a Alarm) String() string {
+	return fmt.Sprintf("ALARM: event %s distinguishes category %d from category %d (t=%.4f, p=%.4g)",
+		a.Event, a.ClassA, a.ClassB, a.T, a.P)
+}
+
+// Report is the complete result of an evaluation campaign.
+type Report struct {
+	Name   string
+	Config Config
+	Dists  *Distributions
+	Tests  []PairTest
+	Alarms []Alarm
+}
+
+// Leaky reports whether any alarm was raised.
+func (r *Report) Leaky() bool { return len(r.Alarms) > 0 }
+
+// TestsFor returns the pair tests of one event in (ClassA, ClassB) order.
+func (r *Report) TestsFor(e march.Event) []PairTest {
+	var out []PairTest
+	for _, t := range r.Tests {
+		if t.Event == e {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AlarmsFor returns the alarms of one event.
+func (r *Report) AlarmsFor(e march.Event) []Alarm {
+	var out []Alarm
+	for _, a := range r.Alarms {
+		if a.Event == e {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Evaluator runs the paper's methodology against a target.
+type Evaluator struct {
+	cfg Config
+}
+
+// NewEvaluator validates the configuration and builds an evaluator.
+func NewEvaluator(cfg Config) (*Evaluator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Events) > cfg.Registers {
+		return nil, fmt.Errorf("core: %d events exceed the %d available HPC registers; monitor fewer events per campaign",
+			len(cfg.Events), cfg.Registers)
+	}
+	seen := map[march.Event]bool{}
+	for _, e := range cfg.Events {
+		if seen[e] {
+			return nil, fmt.Errorf("core: duplicate event %s", e)
+		}
+		seen[e] = true
+	}
+	return &Evaluator{cfg: cfg}, nil
+}
+
+// Collect performs step 1: it observes RunsPerClass classifications for
+// every category in perClass and returns the distributions. perClass maps
+// category label → pool of images of that category; images are cycled when
+// the pool is smaller than RunsPerClass.
+func (ev *Evaluator) Collect(target Target, perClass map[int][]*tensor.Tensor) (*Distributions, error) {
+	if target == nil {
+		return nil, fmt.Errorf("core: nil target")
+	}
+	if len(perClass) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 categories, got %d", len(perClass))
+	}
+	classes := make([]int, 0, len(perClass))
+	for cls, pool := range perClass {
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("core: category %d has no images", cls)
+		}
+		classes = append(classes, cls)
+	}
+	sort.Ints(classes)
+
+	pmu, err := hpc.NewPMU(target.Engine(), ev.cfg.Registers)
+	if err != nil {
+		return nil, err
+	}
+	if err := pmu.Program(ev.cfg.Events...); err != nil {
+		return nil, err
+	}
+
+	d := &Distributions{
+		Events:  append([]march.Event(nil), ev.cfg.Events...),
+		Classes: classes,
+		Samples: map[march.Event]map[int][]float64{},
+	}
+	for _, e := range ev.cfg.Events {
+		d.Samples[e] = map[int][]float64{}
+	}
+
+	// Warm-up: unmeasured classifications.
+	warm := perClass[classes[0]]
+	for i := 0; i < ev.cfg.WarmupRuns; i++ {
+		if _, err := target.Classify(warm[i%len(warm)]); err != nil {
+			return nil, fmt.Errorf("core: warm-up classification: %w", err)
+		}
+	}
+
+	for _, cls := range classes {
+		pool := perClass[cls]
+		for run := 0; run < ev.cfg.RunsPerClass; run++ {
+			img := pool[run%len(pool)]
+			var classifyErr error
+			prof, err := pmu.MeasureOnce(func() {
+				_, classifyErr = target.Classify(img)
+			})
+			if err != nil {
+				return nil, err
+			}
+			if classifyErr != nil {
+				return nil, fmt.Errorf("core: classification failed: %w", classifyErr)
+			}
+			for _, e := range ev.cfg.Events {
+				d.Samples[e][cls] = append(d.Samples[e][cls], prof.Get(e))
+			}
+		}
+	}
+	return d, nil
+}
+
+// Test performs step 2 on collected distributions: Welch t-tests for every
+// category pair of every event.
+func (ev *Evaluator) Test(d *Distributions) ([]PairTest, error) {
+	if d == nil || len(d.Classes) < 2 {
+		return nil, fmt.Errorf("core: need distributions over at least 2 categories")
+	}
+	var tests []PairTest
+	for _, e := range d.Events {
+		var eventTests []PairTest
+		for i := 0; i < len(d.Classes); i++ {
+			for j := i + 1; j < len(d.Classes); j++ {
+				a, b := d.Classes[i], d.Classes[j]
+				res, err := ev.runTest(d.Get(e, a), d.Get(e, b))
+				if err != nil {
+					return nil, fmt.Errorf("core: %s test %s t%d,%d: %w", ev.cfg.Method, e, a, b, err)
+				}
+				eventTests = append(eventTests, PairTest{
+					Event:      e,
+					ClassA:     a,
+					ClassB:     b,
+					Result:     res,
+					EffectSize: stats.CohensD(d.Get(e, a), d.Get(e, b)),
+				})
+			}
+		}
+		if ev.cfg.HolmCorrection {
+			ps := make([]float64, len(eventTests))
+			for i, t := range eventTests {
+				ps[i] = t.Result.P
+			}
+			rej := stats.HolmBonferroni(ps, ev.cfg.Alpha)
+			for i := range eventTests {
+				eventTests[i].HolmReject = rej[i]
+			}
+		}
+		tests = append(tests, eventTests...)
+	}
+	return tests, nil
+}
+
+// runTest applies the configured hypothesis test, normalizing the result
+// into the TTestResult shape (for Mann-Whitney, T carries the z-score and
+// DF is zero).
+func (ev *Evaluator) runTest(a, b []float64) (stats.TTestResult, error) {
+	switch ev.cfg.Method {
+	case MethodMannWhitney:
+		r, err := stats.MannWhitneyU(a, b)
+		if err != nil {
+			return stats.TTestResult{}, err
+		}
+		return stats.TTestResult{T: r.Z, DF: 0, P: r.P}, nil
+	default:
+		return stats.WelchTTest(a, b)
+	}
+}
+
+// Evaluate runs the full campaign (steps 1–3) and returns the report with
+// any alarms raised.
+func (ev *Evaluator) Evaluate(name string, target Target, perClass map[int][]*tensor.Tensor) (*Report, error) {
+	d, err := ev.Collect(target, perClass)
+	if err != nil {
+		return nil, err
+	}
+	tests, err := ev.Test(d)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{Name: name, Config: ev.cfg, Dists: d, Tests: tests}
+	for _, t := range tests {
+		if t.Distinguishable(ev.cfg.Alpha) {
+			r.Alarms = append(r.Alarms, Alarm{
+				Event: t.Event, ClassA: t.ClassA, ClassB: t.ClassB,
+				T: t.Result.T, P: t.Result.P,
+			})
+		}
+	}
+	return r, nil
+}

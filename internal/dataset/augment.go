@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Augment options for expanding a training split. All transforms preserve
+// the image geometry (same height/width/channels) and pixel range [0,1].
+type Augment struct {
+	// MaxShift translates by up to ±MaxShift pixels in each axis.
+	MaxShift int
+	// HFlip mirrors horizontally with probability 0.5.
+	HFlip bool
+	// Noise adds Gaussian pixel noise with this std dev.
+	Noise float64
+	// Brightness scales all pixels by a factor in [1-b, 1+b].
+	Brightness float64
+}
+
+// Apply returns an augmented copy of img using rng for randomness.
+func (a Augment) Apply(img *tensor.Tensor, rng *rand.Rand) (*tensor.Tensor, error) {
+	if img.Rank() != 3 {
+		return nil, fmt.Errorf("dataset: augment needs HWC input, got %v", img.Shape)
+	}
+	h, w, c := img.Shape[0], img.Shape[1], img.Shape[2]
+	out := img.Clone()
+	if a.MaxShift > 0 {
+		dy := rng.Intn(2*a.MaxShift+1) - a.MaxShift
+		dx := rng.Intn(2*a.MaxShift+1) - a.MaxShift
+		out = shift(out, h, w, c, dy, dx)
+	}
+	if a.HFlip && rng.Intn(2) == 0 {
+		out = hflip(out, h, w, c)
+	}
+	if a.Brightness > 0 {
+		f := 1 + (rng.Float64()*2-1)*a.Brightness
+		for i, v := range out.Data {
+			out.Data[i] = float32(clamp01(float64(v) * f))
+		}
+	}
+	if a.Noise > 0 {
+		addNoise(out, rng, a.Noise)
+	}
+	return out, nil
+}
+
+// Expand appends `extra` augmented variants of each sample to the set,
+// returning a new Set (the input is not modified).
+func Expand(s *Set, a Augment, extra int, seed int64) (*Set, error) {
+	if extra < 0 {
+		return nil, fmt.Errorf("dataset: negative expansion %d", extra)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &Set{Name: s.Name + "-augmented", Classes: s.Classes}
+	out.Samples = append(out.Samples, s.Samples...)
+	for _, sm := range s.Samples {
+		for k := 0; k < extra; k++ {
+			img, err := a.Apply(sm.Image, rng)
+			if err != nil {
+				return nil, err
+			}
+			out.Samples = append(out.Samples, Sample{Image: img, Label: sm.Label})
+		}
+	}
+	rng.Shuffle(len(out.Samples), func(i, j int) {
+		out.Samples[i], out.Samples[j] = out.Samples[j], out.Samples[i]
+	})
+	return out, nil
+}
+
+// shift translates the image by (dy, dx), zero-filling exposed borders.
+func shift(img *tensor.Tensor, h, w, c, dy, dx int) *tensor.Tensor {
+	out := tensor.New(h, w, c)
+	for y := 0; y < h; y++ {
+		sy := y - dy
+		if sy < 0 || sy >= h {
+			continue
+		}
+		for x := 0; x < w; x++ {
+			sx := x - dx
+			if sx < 0 || sx >= w {
+				continue
+			}
+			copy(out.Data[(y*w+x)*c:(y*w+x)*c+c], img.Data[(sy*w+sx)*c:(sy*w+sx)*c+c])
+		}
+	}
+	return out
+}
+
+// hflip mirrors the image horizontally.
+func hflip(img *tensor.Tensor, h, w, c int) *tensor.Tensor {
+	out := tensor.New(h, w, c)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			copy(out.Data[(y*w+x)*c:(y*w+x)*c+c], img.Data[(y*w+(w-1-x))*c:(y*w+(w-1-x))*c+c])
+		}
+	}
+	return out
+}
+
+// NormalizationStats holds per-channel mean and std over a split.
+type NormalizationStats struct {
+	Mean []float64
+	Std  []float64
+}
+
+// ComputeNormalization returns per-channel statistics of a split.
+func ComputeNormalization(s *Set) (NormalizationStats, error) {
+	if len(s.Samples) == 0 {
+		return NormalizationStats{}, fmt.Errorf("dataset: empty set")
+	}
+	c := s.Samples[0].Image.Shape[2]
+	sum := make([]float64, c)
+	sum2 := make([]float64, c)
+	n := 0
+	for _, sm := range s.Samples {
+		for i := 0; i < sm.Image.Len(); i += c {
+			for ch := 0; ch < c; ch++ {
+				v := float64(sm.Image.Data[i+ch])
+				sum[ch] += v
+				sum2[ch] += v * v
+			}
+		}
+		n += sm.Image.Len() / c
+	}
+	st := NormalizationStats{Mean: make([]float64, c), Std: make([]float64, c)}
+	for ch := 0; ch < c; ch++ {
+		st.Mean[ch] = sum[ch] / float64(n)
+		variance := sum2[ch]/float64(n) - st.Mean[ch]*st.Mean[ch]
+		if variance < 0 {
+			variance = 0
+		}
+		st.Std[ch] = math.Sqrt(variance)
+	}
+	return st, nil
+}

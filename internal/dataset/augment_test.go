@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func sampleImage(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	img := tensor.New(8, 8, 1)
+	for i := range img.Data {
+		img.Data[i] = rng.Float32()
+	}
+	return img
+}
+
+func TestAugmentApplyShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Augment{MaxShift: 2, HFlip: true, Noise: 0.1, Brightness: 0.3}
+	img := sampleImage(1)
+	out, err := a.Apply(img, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SameShape(img) {
+		t.Fatalf("augment changed shape: %v", out.Shape)
+	}
+	for i, v := range out.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %d = %v outside [0,1]", i, v)
+		}
+	}
+	if _, err := a.Apply(tensor.New(8, 8), rng); err == nil {
+		t.Fatal("rank-2 input accepted")
+	}
+}
+
+func TestAugmentIdentityWhenDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := sampleImage(2)
+	out, err := Augment{}.Apply(img, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Data {
+		if out.Data[i] != img.Data[i] {
+			t.Fatal("zero augment modified the image")
+		}
+	}
+	// And the copy is independent.
+	out.Data[0] = -1
+	if img.Data[0] == -1 {
+		t.Fatal("augment returned shared storage")
+	}
+}
+
+func TestShiftMovesMass(t *testing.T) {
+	img := tensor.New(5, 5, 1)
+	img.Set(1, 2, 2, 0) // single bright pixel in the center
+	out := shift(img, 5, 5, 1, 1, 2)
+	if out.At(3, 4, 0) != 1 {
+		t.Fatalf("shifted pixel not at (3,4): %v", out.Data)
+	}
+	if out.Sum() != 1 {
+		t.Fatalf("shift changed total mass: %v", out.Sum())
+	}
+	// Shifting off the edge loses the pixel.
+	out = shift(img, 5, 5, 1, 4, 4)
+	if out.Sum() != 0 {
+		t.Fatalf("off-edge shift kept mass: %v", out.Sum())
+	}
+}
+
+func TestHFlipInvolution(t *testing.T) {
+	img := sampleImage(3)
+	once := hflip(img, 8, 8, 1)
+	twice := hflip(once, 8, 8, 1)
+	for i := range img.Data {
+		if twice.Data[i] != img.Data[i] {
+			t.Fatal("double hflip is not identity")
+		}
+	}
+	if once.At(0, 0, 0) != img.At(0, 7, 0) {
+		t.Fatal("hflip did not mirror")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	train, _, _ := MNISTLike(Config{PerClassTrain: 3, PerClassTest: 1, Classes: 2, Seed: 4})
+	out, err := Expand(train, Augment{MaxShift: 1}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Samples) != 3*len(train.Samples) {
+		t.Fatalf("expanded size = %d, want %d", len(out.Samples), 3*len(train.Samples))
+	}
+	// Labels balanced: each class tripled.
+	by := out.ByClass()
+	for cls, idxs := range by {
+		if len(idxs) != 9 {
+			t.Fatalf("class %d has %d samples, want 9", cls, len(idxs))
+		}
+	}
+	if _, err := Expand(train, Augment{}, -1, 7); err == nil {
+		t.Fatal("negative expansion accepted")
+	}
+	// Input set unchanged.
+	if len(train.Samples) != 6 {
+		t.Fatal("Expand mutated its input")
+	}
+}
+
+func TestComputeNormalization(t *testing.T) {
+	set := &Set{Name: "n", Classes: 1}
+	img := tensor.New(2, 2, 2)
+	// Channel 0: all 0.5; channel 1: alternating 0 and 1.
+	for i := 0; i < 4; i++ {
+		img.Data[i*2] = 0.5
+		img.Data[i*2+1] = float32(i % 2)
+	}
+	set.Samples = append(set.Samples, Sample{Image: img, Label: 0})
+	st, err := ComputeNormalization(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Mean[0]-0.5) > 1e-6 || st.Std[0] > 1e-6 {
+		t.Fatalf("channel 0 stats = %v/%v", st.Mean[0], st.Std[0])
+	}
+	if math.Abs(st.Mean[1]-0.5) > 1e-6 || math.Abs(st.Std[1]-0.5) > 1e-6 {
+		t.Fatalf("channel 1 stats = %v/%v", st.Mean[1], st.Std[1])
+	}
+	if _, err := ComputeNormalization(&Set{}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestQuickAugmentPreservesShapeAndRange(t *testing.T) {
+	f := func(seed int64, shiftRaw, flags uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Augment{
+			MaxShift:   int(shiftRaw % 4),
+			HFlip:      flags&1 != 0,
+			Noise:      float64(flags&2) * 0.05,
+			Brightness: float64(flags&4) * 0.1,
+		}
+		img := sampleImage(seed)
+		out, err := a.Apply(img, rng)
+		if err != nil {
+			return false
+		}
+		if !out.SameShape(img) {
+			return false
+		}
+		for _, v := range out.Data {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

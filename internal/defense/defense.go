@@ -1,0 +1,145 @@
+// Package defense implements the countermeasure direction from the
+// paper's conclusion: "designing CNN architectures with indistinguishable
+// CPU footprints while classifying different image categories".
+//
+// Three hardening levels are provided, each wrapping the instrumented
+// classifier:
+//
+//   - DenseExecution: disable the sparsity-skipping optimization so the
+//     amount of memory traffic no longer depends on activation sparsity.
+//   - ConstantTime: additionally remove every data-dependent branch
+//     (branchless ReLU/max), yielding an input-independent instruction and
+//     branch stream.
+//   - NoiseInjection: keep the leaky kernels but add randomized dummy
+//     memory traffic after each classification to mask the signal.
+package defense
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/instrument"
+	"repro/internal/march"
+	"repro/internal/march/mem"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Level selects a hardening strategy.
+type Level int
+
+// Hardening levels.
+const (
+	// Baseline is the unprotected sparsity-skipping implementation.
+	Baseline Level = iota
+	// DenseExecution always executes the full weight walk.
+	DenseExecution
+	// ConstantTime is DenseExecution plus branchless kernels.
+	ConstantTime
+	// NoiseInjection keeps leaky kernels but masks them with dummy traffic.
+	NoiseInjection
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Baseline:
+		return "baseline"
+	case DenseExecution:
+		return "dense-execution"
+	case ConstantTime:
+		return "constant-time"
+	case NoiseInjection:
+		return "noise-injection"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Config assembles a hardened classifier.
+type Config struct {
+	Level Level
+	// NoiseLines is the mean number of dummy cache lines touched per
+	// classification under NoiseInjection (default 2048).
+	NoiseLines int
+	// Seed drives the dummy-traffic randomness.
+	Seed int64
+	// Runtime is passed through to the instrumented classifier.
+	Runtime instrument.RuntimeModel
+}
+
+// Hardened wraps an instrumented classifier with a defense level. It
+// satisfies core.Target.
+type Hardened struct {
+	inner  *instrument.Classifier
+	level  Level
+	rng    *rand.Rand
+	lines  int
+	region mem.Region
+}
+
+// New builds a hardened classifier for net on engine.
+func New(net *nn.Network, engine *march.Engine, cfg Config) (*Hardened, error) {
+	opts := instrument.Options{Runtime: cfg.Runtime, Seed: cfg.Seed}
+	switch cfg.Level {
+	case Baseline, NoiseInjection:
+		opts.SparsitySkip = true
+	case DenseExecution:
+		opts.SparsitySkip = false
+	case ConstantTime:
+		opts.ConstantTime = true
+	default:
+		return nil, fmt.Errorf("defense: unknown level %d", int(cfg.Level))
+	}
+	inner, err := instrument.New(net, engine, opts)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hardened{inner: inner, level: cfg.Level, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Level == NoiseInjection {
+		h.lines = cfg.NoiseLines
+		if h.lines <= 0 {
+			h.lines = 2048
+		}
+		// A dedicated scratch buffer the dummy loads sweep over; sized at
+		// 4× the LLC so sweeps actually generate misses.
+		llc := engine.Hierarchy().Last().Config().Size
+		region, err := engine.Arena().Alloc("defense.noise", llc*4)
+		if err != nil {
+			return nil, err
+		}
+		h.region = region
+	}
+	return h, nil
+}
+
+// Level returns the configured hardening level.
+func (h *Hardened) Level() Level { return h.level }
+
+// Engine exposes the simulated core (core.Target).
+func (h *Hardened) Engine() *march.Engine { return h.inner.Engine() }
+
+// Classify runs one classification with the defense applied (core.Target).
+func (h *Hardened) Classify(img *tensor.Tensor) (int, error) {
+	cls, err := h.inner.Classify(img)
+	if err != nil {
+		return 0, err
+	}
+	if h.level == NoiseInjection {
+		h.injectNoise()
+	}
+	return cls, nil
+}
+
+// injectNoise touches a random number of random lines in the scratch
+// buffer, decoupling total cache traffic from the input.
+func (h *Hardened) injectNoise() {
+	eng := h.inner.Engine()
+	n := h.lines/2 + h.rng.Intn(h.lines) // uniform in [lines/2, 3·lines/2)
+	span := int(h.region.Size / 64)
+	for i := 0; i < n; i++ {
+		line := h.rng.Intn(span)
+		eng.Load(h.region.Base+mem.Addr(line*64), 4)
+	}
+	eng.Ops(uint64(2 * n))
+}

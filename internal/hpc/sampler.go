@@ -1,0 +1,73 @@
+package hpc
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+)
+
+// Sample is one interval of a sampled measurement: the event deltas
+// observed between two consecutive checkpoints.
+type Sample struct {
+	Index  int
+	Deltas Profile
+}
+
+// Series is a sampled time series over a workload — the `perf record`
+// analogue to Measure's `perf stat`. It lets an observer see *when*
+// during a classification the events occur, not just their totals.
+type Series struct {
+	Events  []march.Event
+	Samples []Sample
+}
+
+// Total sums one event over all samples.
+func (s *Series) Total(e march.Event) float64 {
+	var t float64
+	for _, sm := range s.Samples {
+		t += sm.Deltas.Get(e)
+	}
+	return t
+}
+
+// Peak returns the sample index with the largest delta of one event
+// (-1 for an empty series).
+func (s *Series) Peak(e march.Event) int {
+	best, bestV := -1, -1.0
+	for i, sm := range s.Samples {
+		if v := sm.Deltas.Get(e); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// SampleSeries observes a workload split into n checkpointed stages and
+// returns the per-stage event deltas. The workload callback is invoked
+// once per stage index (0..n-1); the PMU reads the counters between
+// stages. Unlike Measure, no multiplex rotation happens: all programmed
+// events must fit the registers, as the whole point is per-stage
+// resolution for every event.
+func (p *PMU) SampleSeries(n int, workload func(stage int)) (*Series, error) {
+	if len(p.events) == 0 {
+		return nil, fmt.Errorf("hpc: SampleSeries before Program")
+	}
+	if p.Multiplexed() {
+		return nil, fmt.Errorf("hpc: SampleSeries cannot multiplex %d events on %d registers", len(p.events), p.registers)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("hpc: SampleSeries needs a positive stage count, got %d", n)
+	}
+	series := &Series{Events: append([]march.Event(nil), p.events...)}
+	for stage := 0; stage < n; stage++ {
+		before := p.engine.Counts()
+		workload(stage)
+		delta := p.engine.Counts().Sub(before)
+		prof := Profile{}
+		for _, e := range p.events {
+			prof[e] = float64(delta.Get(e))
+		}
+		series.Samples = append(series.Samples, Sample{Index: stage, Deltas: prof})
+	}
+	return series, nil
+}

@@ -1,0 +1,90 @@
+package hpc
+
+import (
+	"testing"
+
+	"repro/internal/march"
+)
+
+func TestSampleSeriesValidation(t *testing.T) {
+	e := newEngine(t)
+	p, _ := NewPMU(e, 6)
+	if _, err := p.SampleSeries(3, func(int) {}); err == nil {
+		t.Fatal("SampleSeries before Program accepted")
+	}
+	p.Program(march.EvInstructions)
+	if _, err := p.SampleSeries(0, func(int) {}); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+	pm, _ := NewPMU(e, 2)
+	if err := pm.Program(march.EvCycles, march.EvBranches, march.EvInstructions); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.SampleSeries(2, func(int) {}); err == nil {
+		t.Fatal("multiplexed sampling accepted")
+	}
+}
+
+func TestSampleSeriesPerStageDeltas(t *testing.T) {
+	e := newEngine(t)
+	p, _ := NewPMU(e, 6)
+	if err := p.Program(march.EvInstructions, march.EvBranches); err != nil {
+		t.Fatal(err)
+	}
+	work := []uint64{10, 0, 55, 7}
+	series, err := p.SampleSeries(len(work), func(stage int) {
+		e.Ops(work[stage])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Samples) != len(work) {
+		t.Fatalf("samples = %d, want %d", len(series.Samples), len(work))
+	}
+	for i, w := range work {
+		if got := series.Samples[i].Deltas.Get(march.EvInstructions); got != float64(w) {
+			t.Fatalf("stage %d delta = %v, want %d", i, got, w)
+		}
+	}
+	if got := series.Total(march.EvInstructions); got != 72 {
+		t.Fatalf("total = %v, want 72", got)
+	}
+	if got := series.Peak(march.EvInstructions); got != 2 {
+		t.Fatalf("peak stage = %d, want 2", got)
+	}
+}
+
+func TestSampleSeriesEmptyPeak(t *testing.T) {
+	s := &Series{}
+	if s.Peak(march.EvCycles) != -1 {
+		t.Fatal("empty series peak != -1")
+	}
+	if s.Total(march.EvCycles) != 0 {
+		t.Fatal("empty series total != 0")
+	}
+}
+
+func TestSampleSeriesMatchesMeasureTotals(t *testing.T) {
+	// Sampling in stages must account for exactly the same totals a flat
+	// measurement would see (no noise model on this engine).
+	e := newEngine(t)
+	p, _ := NewPMU(e, 6)
+	p.Program(march.EvInstructions)
+	stageWork := func(stage int) { e.Ops(uint64(10 * (stage + 1))) }
+	series, err := p.SampleSeries(5, stageWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.MeasureOnce(func() {
+		for s := 0; s < 5; s++ {
+			stageWork(s)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Total(march.EvInstructions) != prof.Get(march.EvInstructions) {
+		t.Fatalf("sampled total %v != measured %v",
+			series.Total(march.EvInstructions), prof.Get(march.EvInstructions))
+	}
+}

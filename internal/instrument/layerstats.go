@@ -1,0 +1,96 @@
+package instrument
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/march"
+	"repro/internal/tensor"
+)
+
+// LayerCounts attributes hardware events to one layer of a classification.
+type LayerCounts struct {
+	Index  int
+	Kind   string
+	Counts march.Counts
+}
+
+// ClassifyWithAttribution runs one instrumented classification and
+// additionally returns the per-layer event deltas. It is the localization
+// tool for the Evaluator's findings: once an alarm fires, per-layer
+// attribution shows which stage of the network produces the
+// distinguishable footprint (the sparsity-dependent convolutions, in the
+// paper's setting).
+//
+// The runtime-overhead model is attributed to a pseudo-layer with index
+// -1 and kind "runtime".
+func (c *Classifier) ClassifyWithAttribution(img *tensor.Tensor) (int, []LayerCounts, error) {
+	if img.Len() != tensor.Volume(c.net.InShape) {
+		return 0, nil, fmt.Errorf("instrument: input volume %d, want %d", img.Len(), tensor.Volume(c.net.InShape))
+	}
+	if c.opts.ColdStart {
+		c.engine.Hierarchy().Invalidate()
+		c.engine.Predictor().Reset()
+	}
+	arena := c.engine.Arena()
+	defer arena.Reset(c.mark)
+
+	cur := img
+	curRegion, err := arena.Alloc("input", uint64(img.Len())*4)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.engine.Store(curRegion.Base, curRegion.Size)
+
+	var attribution []LayerCounts
+	before := c.engine.Counts()
+	for i := range c.plans {
+		p := &c.plans[i]
+		switch p.kind {
+		case "conv":
+			cur, curRegion, err = c.convLayer(p, cur, curRegion)
+		case "relu":
+			cur, err = c.reluLayer(p, cur, curRegion)
+		case "pool":
+			cur, curRegion, err = c.poolLayer(p, cur, curRegion)
+		case "flatten":
+			cur, err = cur.Reshape(cur.Len())
+		case "dense":
+			cur, curRegion, err = c.denseLayer(p, cur, curRegion)
+		}
+		if err != nil {
+			return 0, nil, fmt.Errorf("instrument: layer %d (%s): %w", i, p.kind, err)
+		}
+		after := c.engine.Counts()
+		attribution = append(attribution, LayerCounts{Index: i, Kind: p.kind, Counts: after.Sub(before)})
+		before = after
+	}
+	pred := c.argmax(cur, curRegion)
+	c.applyRuntime()
+	after := c.engine.Counts()
+	attribution = append(attribution, LayerCounts{Index: -1, Kind: "runtime", Counts: after.Sub(before)})
+	return pred, attribution, nil
+}
+
+// RenderAttribution prints a per-layer table of selected events.
+func RenderAttribution(w io.Writer, attribution []LayerCounts, events ...march.Event) {
+	if len(events) == 0 {
+		events = []march.Event{march.EvInstructions, march.EvCacheMisses, march.EvBranches}
+	}
+	fmt.Fprintf(w, "%-8s%-10s", "layer", "kind")
+	for _, e := range events {
+		fmt.Fprintf(w, "%18s", e)
+	}
+	fmt.Fprintln(w)
+	for _, lc := range attribution {
+		idx := fmt.Sprintf("%d", lc.Index)
+		if lc.Index < 0 {
+			idx = "-"
+		}
+		fmt.Fprintf(w, "%-8s%-10s", idx, lc.Kind)
+		for _, e := range events {
+			fmt.Fprintf(w, "%18d", lc.Counts.Get(e))
+		}
+		fmt.Fprintln(w)
+	}
+}

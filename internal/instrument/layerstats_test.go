@@ -1,0 +1,116 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/march"
+)
+
+func TestAttributionMatchesPlainClassify(t *testing.T) {
+	a, net := buildClassifier(t, Options{SparsitySkip: true})
+	b, _ := buildClassifier(t, Options{SparsitySkip: true})
+	_ = net
+	img := randImage(21)
+	plain, err := a.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed, layers, err := b.ClassifyWithAttribution(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != attributed {
+		t.Fatalf("attributed classify predicted %d, plain %d", attributed, plain)
+	}
+	// One entry per layer plus the runtime pseudo-layer.
+	// tiny arch: conv relu pool conv relu pool flatten dense = 8 layers.
+	if len(layers) != 9 {
+		t.Fatalf("attribution has %d entries, want 9", len(layers))
+	}
+	if layers[len(layers)-1].Kind != "runtime" || layers[len(layers)-1].Index != -1 {
+		t.Fatal("runtime pseudo-layer missing or misplaced")
+	}
+}
+
+func TestAttributionSumsToTotal(t *testing.T) {
+	c, _ := buildClassifier(t, Options{SparsitySkip: true, Runtime: DefaultRuntime(), Seed: 4})
+	img := randImage(22)
+	before := c.Engine().Counts()
+	_, layers, err := c.ClassifyWithAttribution(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := c.Engine().Counts().Sub(before)
+	var sum march.Counts
+	for _, lc := range layers {
+		for i := range sum {
+			sum[i] += lc.Counts[i]
+		}
+	}
+	// The attribution misses only the input streaming store and the argmax
+	// scan (tiny); instructions must agree within 1%.
+	si := sum.Get(march.EvInstructions)
+	ti := total.Get(march.EvInstructions)
+	diff := float64(int64(ti) - int64(si))
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/float64(ti) > 0.01 {
+		t.Fatalf("attributed instructions %d vs total %d", si, ti)
+	}
+}
+
+func TestAttributionConvDominatesForConvNet(t *testing.T) {
+	c, _ := buildClassifier(t, Options{SparsitySkip: true})
+	_, layers, err := c.ClassifyWithAttribution(randImage(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var convInstr, otherInstr uint64
+	for _, lc := range layers {
+		if lc.Kind == "conv" {
+			convInstr += lc.Counts.Get(march.EvInstructions)
+		} else if lc.Kind != "runtime" {
+			otherInstr += lc.Counts.Get(march.EvInstructions)
+		}
+	}
+	if convInstr <= otherInstr {
+		t.Fatalf("conv layers (%d instr) not dominant over others (%d)", convInstr, otherInstr)
+	}
+}
+
+func TestAttributionRejectsWrongShape(t *testing.T) {
+	c, _ := buildClassifier(t, Options{SparsitySkip: true})
+	if _, _, err := c.ClassifyWithAttribution(randImage(1).Clone()); err != nil {
+		t.Fatal(err) // correct shape must pass
+	}
+	bad := randImage(1)
+	bad.Shape = []int{4, 4, 1}
+	bad.Data = bad.Data[:16]
+	if _, _, err := c.ClassifyWithAttribution(bad); err == nil {
+		t.Fatal("wrong shape accepted")
+	}
+}
+
+func TestRenderAttribution(t *testing.T) {
+	c, _ := buildClassifier(t, Options{SparsitySkip: true})
+	_, layers, err := c.ClassifyWithAttribution(randImage(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	RenderAttribution(&b, layers)
+	out := b.String()
+	if !strings.Contains(out, "conv") || !strings.Contains(out, "runtime") {
+		t.Fatalf("attribution table malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "cache-misses") {
+		t.Fatalf("default events missing:\n%s", out)
+	}
+	b.Reset()
+	RenderAttribution(&b, layers, march.EvCycles)
+	if !strings.Contains(b.String(), "cycles") {
+		t.Fatal("custom event column missing")
+	}
+}

@@ -1,0 +1,364 @@
+// Package branch implements the branch predictor simulators behind the
+// `branches` and `branch-misses` HPC events.
+//
+// The instrumented CNN routes its data-dependent branches (ReLU sign tests,
+// sparsity-skip tests, max-pool comparisons) through a predictor; mispredict
+// counts feed the branch-misses event and the cycle penalty model.
+package branch
+
+import "fmt"
+
+// Kind selects the predictor algorithm.
+type Kind int
+
+// Predictor kinds.
+const (
+	StaticTaken Kind = iota
+	Bimodal
+	GShare
+	Tournament
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case StaticTaken:
+		return "static-taken"
+	case Bimodal:
+		return "bimodal"
+	case GShare:
+		return "gshare"
+	case Tournament:
+		return "tournament"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Stats holds predictor counters.
+type Stats struct {
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// MispredictRate returns mispredicts/branches (0 when no branches).
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Predictor is the common interface: Predict-then-Update per branch.
+type Predictor interface {
+	// Record predicts the branch at pc, compares with the actual outcome,
+	// updates internal state, and returns whether the prediction was correct.
+	Record(pc uint64, taken bool) bool
+	// Stats returns the counters so far.
+	Stats() Stats
+	// Reset clears both state and counters.
+	Reset()
+	// Kind reports the algorithm.
+	Kind() Kind
+}
+
+// Config sizes a predictor.
+type Config struct {
+	Kind Kind
+	// TableBits is the log2 of the pattern table size (default 12 → 4096
+	// two-bit counters).
+	TableBits uint
+	// HistoryBits is the global history length for GShare (default =
+	// TableBits).
+	HistoryBits uint
+}
+
+func (c Config) withDefaults() Config {
+	if c.TableBits == 0 {
+		c.TableBits = 12
+	}
+	if c.TableBits > 20 {
+		c.TableBits = 20
+	}
+	if c.HistoryBits == 0 || c.HistoryBits > c.TableBits {
+		c.HistoryBits = c.TableBits
+	}
+	return c
+}
+
+// New constructs a predictor.
+func New(cfg Config) Predictor {
+	cfg = cfg.withDefaults()
+	switch cfg.Kind {
+	case StaticTaken:
+		return &static{}
+	case Bimodal:
+		return newBimodal(cfg.TableBits)
+	case GShare:
+		return newGShare(cfg.TableBits, cfg.HistoryBits)
+	case Tournament:
+		return &tournament{
+			bim:     newBimodal(cfg.TableBits),
+			gsh:     newGShare(cfg.TableBits, cfg.HistoryBits),
+			chooser: make([]uint8, 1<<cfg.TableBits),
+			mask:    (1 << cfg.TableBits) - 1,
+		}
+	default:
+		return &static{}
+	}
+}
+
+// static always predicts taken.
+type static struct{ stats Stats }
+
+func (s *static) Record(_ uint64, taken bool) bool {
+	s.stats.Branches++
+	if !taken {
+		s.stats.Mispredicts++
+		return false
+	}
+	return true
+}
+func (s *static) Stats() Stats { return s.stats }
+func (s *static) Reset()       { s.stats = Stats{} }
+func (s *static) Kind() Kind   { return StaticTaken }
+
+// bimodal is a classic table of 2-bit saturating counters indexed by pc.
+type bimodal struct {
+	table []uint8
+	mask  uint64
+	stats Stats
+}
+
+func newBimodal(bits uint) *bimodal {
+	b := &bimodal{table: make([]uint8, 1<<bits), mask: (1 << bits) - 1}
+	for i := range b.table {
+		b.table[i] = 1 // weakly not-taken
+	}
+	return b
+}
+
+func (b *bimodal) Record(pc uint64, taken bool) bool {
+	idx := (pc >> 2) & b.mask
+	pred := b.table[idx] >= 2
+	b.table[idx] = bump(b.table[idx], taken)
+	b.stats.Branches++
+	if pred != taken {
+		b.stats.Mispredicts++
+		return false
+	}
+	return true
+}
+
+func (b *bimodal) Stats() Stats { return b.stats }
+func (b *bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
+	b.stats = Stats{}
+}
+func (b *bimodal) Kind() Kind { return Bimodal }
+
+// gshare XORs global history into the table index.
+type gshare struct {
+	table   []uint8
+	mask    uint64
+	history uint64
+	hmask   uint64
+	stats   Stats
+}
+
+func newGShare(bits, hbits uint) *gshare {
+	g := &gshare{table: make([]uint8, 1<<bits), mask: (1 << bits) - 1, hmask: (1 << hbits) - 1}
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	return g
+}
+
+func (g *gshare) predictIdx(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+func (g *gshare) Record(pc uint64, taken bool) bool {
+	idx := g.predictIdx(pc)
+	pred := g.table[idx] >= 2
+	g.table[idx] = bump(g.table[idx], taken)
+	g.history = ((g.history << 1) | b2u(taken)) & g.hmask
+	g.stats.Branches++
+	if pred != taken {
+		g.stats.Mispredicts++
+		return false
+	}
+	return true
+}
+
+func (g *gshare) Stats() Stats { return g.stats }
+func (g *gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	g.history = 0
+	g.stats = Stats{}
+}
+func (g *gshare) Kind() Kind { return GShare }
+
+// tournament arbitrates between bimodal and gshare with a chooser table of
+// 2-bit counters (≥2 → trust gshare).
+type tournament struct {
+	bim     *bimodal
+	gsh     *gshare
+	chooser []uint8
+	mask    uint64
+	stats   Stats
+}
+
+func (t *tournament) Record(pc uint64, taken bool) bool {
+	idx := (pc >> 2) & t.mask
+	bIdx := (pc >> 2) & t.bim.mask
+	gIdx := t.gsh.predictIdx(pc)
+	bPred := t.bim.table[bIdx] >= 2
+	gPred := t.gsh.table[gIdx] >= 2
+	useG := t.chooser[idx] >= 2
+	pred := bPred
+	if useG {
+		pred = gPred
+	}
+	// Train components (their internal stats track component accuracy).
+	t.bim.Record(pc, taken)
+	t.gsh.Record(pc, taken)
+	// Train chooser toward whichever component was right.
+	if bPred != gPred {
+		t.chooser[idx] = bump(t.chooser[idx], gPred == taken)
+	}
+	t.stats.Branches++
+	if pred != taken {
+		t.stats.Mispredicts++
+		return false
+	}
+	return true
+}
+
+func (t *tournament) Stats() Stats { return t.stats }
+func (t *tournament) Reset() {
+	t.bim.Reset()
+	t.gsh.Reset()
+	clear(t.chooser)
+	t.stats = Stats{}
+}
+func (t *tournament) Kind() Kind { return Tournament }
+
+// bump moves a 2-bit saturating counter toward taken/not-taken.
+func bump(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BTB is a small direct-mapped branch target buffer. It models target
+// misses separately from direction misses; the engine charges a smaller
+// front-end penalty for BTB misses on taken branches.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	mask    uint64
+	hits    uint64
+	misses  uint64
+}
+
+// NewBTB builds a 2^bits-entry BTB.
+func NewBTB(bits uint) *BTB {
+	if bits == 0 {
+		bits = 9
+	}
+	if bits > 16 {
+		bits = 16
+	}
+	return &BTB{tags: make([]uint64, 1<<bits), targets: make([]uint64, 1<<bits), mask: (1 << bits) - 1}
+}
+
+// Lookup checks for pc's target; on miss (or target change) it installs
+// the mapping and reports false.
+func (b *BTB) Lookup(pc, target uint64) bool {
+	idx := (pc >> 2) & b.mask
+	if b.tags[idx] == pc && b.targets[idx] == target {
+		b.hits++
+		return true
+	}
+	b.tags[idx] = pc
+	b.targets[idx] = target
+	b.misses++
+	return false
+}
+
+// Hits returns the number of BTB hits.
+func (b *BTB) Hits() uint64 { return b.hits }
+
+// Misses returns the number of BTB misses.
+func (b *BTB) Misses() uint64 { return b.misses }
+
+// Reset clears the BTB.
+func (b *BTB) Reset() {
+	clear(b.tags)
+	clear(b.targets)
+	b.hits, b.misses = 0, 0
+}
+
+// RAS is a return address stack for call/return pairs in the instrumented
+// kernels. Overflow wraps (oldest entries are lost), as in hardware.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+	hits  uint64
+	miss  uint64
+}
+
+// NewRAS builds a stack with the given depth (default 16).
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		depth = 16
+	}
+	return &RAS{stack: make([]uint64, depth), depth: depth}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(ret uint64) {
+	r.stack[r.top%r.depth] = ret
+	r.top++
+}
+
+// Pop predicts a return target and checks it; returns true when correct.
+func (r *RAS) Pop(actual uint64) bool {
+	if r.top == 0 {
+		r.miss++
+		return false
+	}
+	r.top--
+	if r.stack[r.top%r.depth] == actual {
+		r.hits++
+		return true
+	}
+	r.miss++
+	return false
+}
+
+// Hits returns correct return predictions.
+func (r *RAS) Hits() uint64 { return r.hits }
+
+// Misses returns incorrect return predictions.
+func (r *RAS) Misses() uint64 { return r.miss }

@@ -1,0 +1,414 @@
+// Package cache implements the set-associative cache simulator that turns
+// the instrumented CNN's memory accesses into cache-references and
+// cache-misses — the central HPC events of the paper under reproduction.
+//
+// The simulator is trace-driven: callers feed it addresses and it tracks
+// tags per set under a configurable replacement policy. A Hierarchy chains
+// levels (L1D → L2 → LLC) the way the perf events are defined on Intel:
+// cache-references and cache-misses count last-level-cache activity.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/march/mem"
+)
+
+// Policy selects the replacement policy for a cache level.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	TreePLRU
+	FIFO
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case TreePLRU:
+		return "tree-plru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	Size     uint64 // total bytes
+	LineSize uint64 // bytes per line, power of two
+	Assoc    int    // ways per set
+	Policy   Policy
+	// NextLinePrefetch enables a simple sequential prefetcher: on a miss,
+	// the following line is installed as well (without counting as a
+	// reference).
+	NextLinePrefetch bool
+}
+
+// Validate checks structural consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache: %s line size %d not a power of two", c.Name, c.LineSize)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache: %s associativity %d must be positive", c.Name, c.Assoc)
+	case c.Size == 0 || c.Size%(c.LineSize*uint64(c.Assoc)) != 0:
+		return fmt.Errorf("cache: %s size %d not divisible by line*assoc", c.Name, c.Size)
+	}
+	sets := c.Size / (c.LineSize * uint64(c.Assoc))
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: %s set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats accumulates per-level counters.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Writes    uint64
+}
+
+// MissRate returns misses/accesses (0 for no accesses).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg      Config
+	sets     uint64
+	lineBits uint
+	setMask  uint64
+
+	tags  []uint64 // sets × assoc
+	valid []bool
+	dirty []bool
+	// LRU: age counters; FIFO: insertion order; PLRU: tree bits per set.
+	age      []uint32
+	clock    uint32
+	plruTree []uint64 // one bit-tree word per set (supports assoc ≤ 64)
+	rng      uint64   // xorshift state for Random policy
+
+	stats Stats
+}
+
+// New constructs a level. The configuration is validated.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Size / (cfg.LineSize * uint64(cfg.Assoc))
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: uint(bits.TrailingZeros64(cfg.LineSize)),
+		setMask:  sets - 1,
+		tags:     make([]uint64, sets*uint64(cfg.Assoc)),
+		valid:    make([]bool, sets*uint64(cfg.Assoc)),
+		dirty:    make([]bool, sets*uint64(cfg.Assoc)),
+		age:      make([]uint32, sets*uint64(cfg.Assoc)),
+		plruTree: make([]uint64, sets),
+		rng:      0x9e3779b97f4a7c15,
+	}
+	return c, nil
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters but keeps cache contents (used between a
+// warm-up pass and a measured pass).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// AddExternal accounts traffic produced by co-resident activity that is
+// modeled statistically rather than simulated line-by-line (e.g. the ML
+// framework runtime around the instrumented kernels). misses is clamped
+// to refs.
+func (c *Cache) AddExternal(refs, misses uint64) {
+	if misses > refs {
+		misses = refs
+	}
+	c.stats.Accesses += refs
+	c.stats.Misses += misses
+	c.stats.Hits += refs - misses
+}
+
+// Flush invalidates all lines and clears stats.
+func (c *Cache) Flush() {
+	c.Invalidate()
+	c.stats = Stats{}
+}
+
+// Invalidate drops all cached lines but keeps the counters — the state a
+// fresh process sees while an attached PMU keeps counting.
+func (c *Cache) Invalidate() {
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.age)
+	clear(c.plruTree)
+	c.clock = 0
+}
+
+func (c *Cache) index(addr mem.Addr) (set uint64, tag uint64) {
+	line := uint64(addr) >> c.lineBits
+	return line & c.setMask, line >> bits.TrailingZeros64(c.sets)
+}
+
+// Access simulates one access. write marks the line dirty. It returns true
+// on hit. Misses install the line, evicting per the policy.
+func (c *Cache) Access(addr mem.Addr, write bool) bool {
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	}
+	hit := c.touch(addr, write)
+	if hit {
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	if c.cfg.NextLinePrefetch {
+		next := addr + mem.Addr(c.cfg.LineSize)
+		if !c.present(next) {
+			c.install(next, false)
+		}
+	}
+	return false
+}
+
+// present reports whether the line holding addr is cached, without
+// updating any replacement or stats state.
+func (c *Cache) present(addr mem.Addr) bool {
+	set, tag := c.index(addr)
+	base := set * uint64(c.cfg.Assoc)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+uint64(w)] && c.tags[base+uint64(w)] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// touch performs the lookup + fill without stats accounting.
+func (c *Cache) touch(addr mem.Addr, write bool) bool {
+	set, tag := c.index(addr)
+	base := set * uint64(c.cfg.Assoc)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == tag {
+			c.onHit(set, w)
+			if write {
+				c.dirty[i] = true
+			}
+			return true
+		}
+	}
+	c.install(addr, write)
+	return false
+}
+
+// install places the line for addr into its set, evicting a victim.
+func (c *Cache) install(addr mem.Addr, write bool) {
+	set, tag := c.index(addr)
+	base := set * uint64(c.cfg.Assoc)
+	victim := -1
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if !c.valid[base+uint64(w)] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.victim(set)
+		c.stats.Evictions++
+	}
+	i := base + uint64(victim)
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.dirty[i] = write
+	c.onFill(set, victim)
+}
+
+// onHit updates replacement metadata after a hit.
+func (c *Cache) onHit(set uint64, way int) {
+	switch c.cfg.Policy {
+	case LRU:
+		c.clock++
+		c.age[set*uint64(c.cfg.Assoc)+uint64(way)] = c.clock
+	case TreePLRU:
+		c.plruPoint(set, way)
+	case FIFO, Random:
+		// No hit update: FIFO ignores recency; Random is stateless.
+	}
+}
+
+// onFill updates replacement metadata after installing into way.
+func (c *Cache) onFill(set uint64, way int) {
+	switch c.cfg.Policy {
+	case LRU, FIFO:
+		c.clock++
+		c.age[set*uint64(c.cfg.Assoc)+uint64(way)] = c.clock
+	case TreePLRU:
+		c.plruPoint(set, way)
+	case Random:
+	}
+}
+
+// victim selects a way to evict from a full set.
+func (c *Cache) victim(set uint64) int {
+	switch c.cfg.Policy {
+	case LRU, FIFO:
+		base := set * uint64(c.cfg.Assoc)
+		best, bestAge := 0, c.age[base]
+		for w := 1; w < c.cfg.Assoc; w++ {
+			if a := c.age[base+uint64(w)]; a < bestAge {
+				best, bestAge = w, a
+			}
+		}
+		return best
+	case TreePLRU:
+		return c.plruVictim(set)
+	case Random:
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return int(c.rng % uint64(c.cfg.Assoc))
+	default:
+		return 0
+	}
+}
+
+// plruPoint walks the tree making every node point away from way.
+func (c *Cache) plruPoint(set uint64, way int) {
+	assoc := c.cfg.Assoc
+	node := 0
+	lo, hi := 0, assoc
+	tree := c.plruTree[set]
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			tree |= 1 << uint(node) // point right (away from the left half)
+			node = 2*node + 1
+			hi = mid
+		} else {
+			tree &^= 1 << uint(node) // point left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+	c.plruTree[set] = tree
+}
+
+// plruVictim follows the pointer bits to the pseudo-LRU way.
+func (c *Cache) plruVictim(set uint64) int {
+	assoc := c.cfg.Assoc
+	node := 0
+	lo, hi := 0, assoc
+	tree := c.plruTree[set]
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if tree&(1<<uint(node)) != 0 { // points right
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Hierarchy chains levels; an access that misses level i is retried at
+// level i+1. Stats accumulate independently per level.
+type Hierarchy struct {
+	Levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from level configs, first (index 0)
+// being closest to the core.
+func NewHierarchy(cfgs ...Config) (*Hierarchy, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cache: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{}
+	for _, cfg := range cfgs {
+		lv, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.Levels = append(h.Levels, lv)
+	}
+	return h, nil
+}
+
+// Access walks the hierarchy. It returns the deepest level index that
+// missed +1; 0 means an L1 hit, len(Levels) means the access went to
+// memory (a last-level miss).
+func (h *Hierarchy) Access(addr mem.Addr, write bool) int {
+	for i, lv := range h.Levels {
+		if lv.Access(addr, write) {
+			return i
+		}
+	}
+	return len(h.Levels)
+}
+
+// Last returns the last (largest) level.
+func (h *Hierarchy) Last() *Cache { return h.Levels[len(h.Levels)-1] }
+
+// Flush invalidates every level.
+func (h *Hierarchy) Flush() {
+	for _, lv := range h.Levels {
+		lv.Flush()
+	}
+}
+
+// Invalidate drops contents at every level, keeping counters.
+func (h *Hierarchy) Invalidate() {
+	for _, lv := range h.Levels {
+		lv.Invalidate()
+	}
+}
+
+// ResetStats clears counters on every level, keeping contents.
+func (h *Hierarchy) ResetStats() {
+	for _, lv := range h.Levels {
+		lv.ResetStats()
+	}
+}
+
+// DefaultHierarchy models a small Xeon-class core: 32 KiB 8-way L1D,
+// 256 KiB 8-way L2, 2 MiB 16-way LLC, 64-byte lines. The LLC is sized well
+// below a real server part so the working set of the small CNNs exercises
+// it; what matters for the reproduction is the *relative* class-dependent
+// behaviour, not absolute capacities.
+func DefaultHierarchy() *Hierarchy {
+	h, err := NewHierarchy(
+		Config{Name: "L1D", Size: 32 << 10, LineSize: 64, Assoc: 8, Policy: TreePLRU},
+		Config{Name: "L2", Size: 256 << 10, LineSize: 64, Assoc: 8, Policy: TreePLRU},
+		Config{Name: "LLC", Size: 2 << 20, LineSize: 64, Assoc: 16, Policy: LRU},
+	)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return h
+}

@@ -1,0 +1,117 @@
+// Package mem provides the simulated 64-bit address space used by the
+// micro-architecture simulator.
+//
+// The instrumented CNN inference (package instrument) allocates its weights
+// and activations here instead of relying on Go runtime addresses, so the
+// cache simulation is deterministic, stable across runs, and independent of
+// the host allocator.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// Region is a named allocation inside the address space.
+type Region struct {
+	Name string
+	Base Addr
+	Size uint64
+}
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool {
+	return a >= r.Base && a < r.Base+Addr(r.Size)
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Arena is a bump allocator over the simulated address space. Allocations
+// are aligned to cache-line boundaries so a tensor's footprint in the cache
+// simulator matches what an aligned malloc would produce.
+type Arena struct {
+	base    Addr
+	next    Addr
+	align   uint64
+	regions []Region
+}
+
+// DefaultBase mirrors a typical Linux mmap region base so printed addresses
+// look like real pointers.
+const DefaultBase Addr = 0x7f0000000000
+
+// NewArena creates an arena starting at base with the given alignment
+// (typically the cache line size). align must be a power of two.
+func NewArena(base Addr, align uint64) (*Arena, error) {
+	if align == 0 || align&(align-1) != 0 {
+		return nil, fmt.Errorf("mem: alignment %d is not a power of two", align)
+	}
+	return &Arena{base: base, next: base, align: align}, nil
+}
+
+// Alloc reserves size bytes and returns the region. Zero-size allocations
+// are rejected: a tensor with no elements has no footprint to simulate.
+func (a *Arena) Alloc(name string, size uint64) (Region, error) {
+	if size == 0 {
+		return Region{}, fmt.Errorf("mem: zero-size allocation %q", name)
+	}
+	aligned := (uint64(a.next) + a.align - 1) &^ (a.align - 1)
+	r := Region{Name: name, Base: Addr(aligned), Size: size}
+	a.next = Addr(aligned + size)
+	a.regions = append(a.regions, r)
+	return r, nil
+}
+
+// Reset releases every allocation at or above the given region's base,
+// rewinding the bump pointer to it. The argument may be a real region or a
+// pseudo-region from Mark. Used to recycle per-inference activation
+// buffers while keeping weights resident at stable addresses.
+func (a *Arena) Reset(to Region) {
+	keep := a.regions[:0]
+	for _, r := range a.regions {
+		if r.Base < to.Base {
+			keep = append(keep, r)
+		}
+	}
+	a.regions = keep
+	if to.Base < a.base {
+		a.next = a.base
+		return
+	}
+	a.next = to.Base
+}
+
+// Mark returns a pseudo-region representing the current bump pointer, for
+// later Reset.
+func (a *Arena) Mark() Region { return Region{Name: "<mark>", Base: a.next} }
+
+// ResetAll rewinds the arena to empty.
+func (a *Arena) ResetAll() {
+	a.regions = a.regions[:0]
+	a.next = a.base
+}
+
+// Used returns the number of bytes between the arena base and the bump
+// pointer (including alignment padding).
+func (a *Arena) Used() uint64 { return uint64(a.next - a.base) }
+
+// Regions returns a copy of the live allocations in address order.
+func (a *Arena) Regions() []Region {
+	out := append([]Region(nil), a.regions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// Find returns the region containing addr, if any.
+func (a *Arena) Find(addr Addr) (Region, bool) {
+	for _, r := range a.regions {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}

@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewArenaValidation(t *testing.T) {
+	if _, err := NewArena(0, 0); err == nil {
+		t.Fatal("zero alignment accepted")
+	}
+	if _, err := NewArena(0, 48); err == nil {
+		t.Fatal("non-power-of-two alignment accepted")
+	}
+	if _, err := NewArena(DefaultBase, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a, _ := NewArena(0x1000, 64)
+	r1, err := a.Alloc("weights", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(r1.Base)%64 != 0 {
+		t.Fatalf("region base %#x not 64-aligned", r1.Base)
+	}
+	r2, _ := a.Alloc("bias", 10)
+	if uint64(r2.Base)%64 != 0 {
+		t.Fatalf("second region base %#x not aligned", r2.Base)
+	}
+	if r2.Base < r1.End() {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestAllocZeroSizeRejected(t *testing.T) {
+	a, _ := NewArena(0, 64)
+	if _, err := a.Alloc("empty", 0); err == nil {
+		t.Fatal("zero-size allocation accepted")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Name: "r", Base: 0x100, Size: 0x40}
+	if !r.Contains(0x100) || !r.Contains(0x13f) {
+		t.Fatal("Contains false inside region")
+	}
+	if r.Contains(0xff) || r.Contains(0x140) {
+		t.Fatal("Contains true outside region")
+	}
+	if r.End() != 0x140 {
+		t.Fatalf("End = %#x, want 0x140", r.End())
+	}
+}
+
+func TestMarkReset(t *testing.T) {
+	a, _ := NewArena(0, 64)
+	w, _ := a.Alloc("weights", 256)
+	mark := a.Mark()
+	a1, _ := a.Alloc("act1", 128)
+	if _, ok := a.Find(a1.Base); !ok {
+		t.Fatal("act1 not found before reset")
+	}
+	a.Reset(mark)
+	// Weights survive, activations are gone; next alloc reuses the space.
+	if _, ok := a.Find(w.Base); !ok {
+		t.Fatal("weights lost by Reset")
+	}
+	a2, _ := a.Alloc("act2", 128)
+	if a2.Base != a1.Base {
+		t.Fatalf("Reset did not rewind bump pointer: %#x vs %#x", a2.Base, a1.Base)
+	}
+}
+
+// TestMarkResetMidStream: Reset(mark) with the mark pointing at an aligned
+// allocation drops that allocation and everything after it.
+func TestResetAtRegion(t *testing.T) {
+	a, _ := NewArena(0, 64)
+	a.Alloc("keep", 64)
+	r2, _ := a.Alloc("drop", 64)
+	a.Alloc("drop2", 64)
+	a.Reset(r2)
+	regions := a.Regions()
+	if len(regions) != 1 || regions[0].Name != "keep" {
+		t.Fatalf("regions after reset = %v", regions)
+	}
+}
+
+func TestResetAllAndUsed(t *testing.T) {
+	a, _ := NewArena(0x1000, 64)
+	if a.Used() != 0 {
+		t.Fatalf("fresh arena Used = %d", a.Used())
+	}
+	a.Alloc("x", 100)
+	if a.Used() == 0 {
+		t.Fatal("Used = 0 after allocation")
+	}
+	a.ResetAll()
+	if a.Used() != 0 || len(a.Regions()) != 0 {
+		t.Fatal("ResetAll did not empty the arena")
+	}
+}
+
+func TestFind(t *testing.T) {
+	a, _ := NewArena(0, 64)
+	r, _ := a.Alloc("w", 64)
+	got, ok := a.Find(r.Base + 10)
+	if !ok || got.Name != "w" {
+		t.Fatalf("Find = %v,%v", got, ok)
+	}
+	if _, ok := a.Find(0xdeadbeef); ok {
+		t.Fatal("Find matched unmapped address")
+	}
+}
+
+func TestQuickAllocationsNeverOverlap(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a, _ := NewArena(0, 64)
+		var regions []Region
+		for i, s := range sizes {
+			if s == 0 {
+				continue
+			}
+			if i >= 64 {
+				break
+			}
+			r, err := a.Alloc("r", uint64(s))
+			if err != nil {
+				return false
+			}
+			regions = append(regions, r)
+		}
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				ri, rj := regions[i], regions[j]
+				if ri.Base < rj.End() && rj.Base < ri.End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates network parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update scaled by 1/batchSize and zeroes gradients.
+	Step(n *Network, batchSize int)
+	// Name identifies the algorithm for logs.
+	Name() string
+}
+
+// Name implements Optimizer for SGD.
+func (o *SGD) Name() string { return "sgd" }
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m map[*tensor.Tensor][]float32
+	v map[*tensor.Tensor][]float32
+}
+
+// NewAdam constructs Adam with conventional defaults for zero fields
+// (lr 0.001, β₁ 0.9, β₂ 0.999, ε 1e-8).
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		lr = 0.001
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: map[*tensor.Tensor][]float32{},
+		v: map[*tensor.Tensor][]float32{},
+	}
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (o *Adam) Step(n *Network, batchSize int) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	o.t++
+	inv := 1.0 / float64(batchSize)
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range n.Params() {
+		m, ok := o.m[p.Value]
+		if !ok {
+			m = make([]float32, p.Value.Len())
+			o.m[p.Value] = m
+			o.v[p.Value] = make([]float32, p.Value.Len())
+		}
+		v := o.v[p.Value]
+		for i := range p.Value.Data {
+			g := float64(p.Grad.Data[i]) * inv
+			m[i] = float32(o.Beta1*float64(m[i]) + (1-o.Beta1)*g)
+			v[i] = float32(o.Beta2*float64(v[i]) + (1-o.Beta2)*g*g)
+			mhat := float64(m[i]) / c1
+			vhat := float64(v[i]) / c2
+			p.Value.Data[i] -= float32(o.LR * mhat / (math.Sqrt(vhat) + o.Epsilon))
+		}
+		p.Grad.Zero()
+	}
+}
+
+// LRSchedule maps an epoch index to a learning-rate multiplier.
+type LRSchedule func(epoch int) float64
+
+// ConstantLR keeps the base rate.
+func ConstantLR() LRSchedule { return func(int) float64 { return 1 } }
+
+// StepDecay halves the rate every `every` epochs.
+func StepDecay(every int) LRSchedule {
+	if every <= 0 {
+		every = 1
+	}
+	return func(epoch int) float64 {
+		return math.Pow(0.5, float64(epoch/every))
+	}
+}
+
+// CosineDecay anneals from 1 to floor over total epochs.
+func CosineDecay(total int, floor float64) LRSchedule {
+	if total <= 1 {
+		total = 1
+	}
+	return func(epoch int) float64 {
+		if epoch >= total {
+			return floor
+		}
+		cos := 0.5 * (1 + math.Cos(math.Pi*float64(epoch)/float64(total)))
+		return floor + (1-floor)*cos
+	}
+}
+
+// TrainWith fits the network using an arbitrary optimizer and optional
+// learning-rate schedule; it generalizes Train (which remains the simple
+// SGD entry point).
+func TrainWith(n *Network, inputs []*tensor.Tensor, labels []int, opt Optimizer, cfg TrainConfig, sched LRSchedule) error {
+	if len(inputs) == 0 || len(inputs) != len(labels) {
+		return fmt.Errorf("nn: TrainWith needs parallel non-empty inputs/labels, got %d/%d", len(inputs), len(labels))
+	}
+	if opt == nil {
+		return fmt.Errorf("nn: TrainWith needs an optimizer")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if sched == nil {
+		sched = ConstantLR()
+	}
+	baseSGD, isSGD := opt.(*SGD)
+	baseAdam, isAdam := opt.(*Adam)
+	var baseLR float64
+	switch {
+	case isSGD:
+		baseLR = baseSGD.LR
+	case isAdam:
+		baseLR = baseAdam.LR
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(inputs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if baseLR > 0 {
+			mult := sched(epoch)
+			if isSGD {
+				baseSGD.LR = baseLR * mult
+			}
+			if isAdam {
+				baseAdam.LR = baseLR * mult
+			}
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		totalLoss, correct := 0.0, 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, idx := range order[start:end] {
+				logits, err := n.Forward(inputs[idx])
+				if err != nil {
+					return err
+				}
+				cls, _ := logits.MaxIndex()
+				if cls == labels[idx] {
+					correct++
+				}
+				loss, grad, err := LossGrad(logits, labels[idx])
+				if err != nil {
+					return err
+				}
+				totalLoss += loss
+				if err := n.Backward(grad); err != nil {
+					return err
+				}
+			}
+			opt.Step(n, end-start)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, totalLoss/float64(len(order)), float64(correct)/float64(len(order)))
+		}
+	}
+	// Restore the caller's base rate.
+	if isSGD {
+		baseSGD.LR = baseLR
+	}
+	if isAdam {
+		baseAdam.LR = baseLR
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// separableData builds the bright-top vs bright-bottom toy problem.
+func separableData(rng *rand.Rand, n int) ([]*tensor.Tensor, []int) {
+	var inputs []*tensor.Tensor
+	var labels []int
+	for i := 0; i < n; i++ {
+		img := tensor.New(12, 12, 1)
+		cls := i % 2
+		for y := 0; y < 12; y++ {
+			for x := 0; x < 12; x++ {
+				v := rng.Float32() * 0.2
+				if (cls == 0 && y < 6) || (cls == 1 && y >= 6) {
+					v += 0.8
+				}
+				img.Set(v, y, x, 0)
+			}
+		}
+		inputs = append(inputs, img)
+		labels = append(labels, cls)
+	}
+	return inputs, labels
+}
+
+func TestAdamLearnsSeparableProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	arch := Arch{Name: "tiny", InH: 12, InW: 12, InC: 1, Conv1: 4, Conv2: 4, Kernel: 3, Classes: 2}
+	n, err := Build(arch, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, labels := separableData(rng, 120)
+	err = TrainWith(n, inputs, labels, NewAdam(0.003), TrainConfig{Epochs: 6, BatchSize: 8, Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(n, inputs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("adam training accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTrainWithValidation(t *testing.T) {
+	n, err := Build(Arch{Name: "t", InH: 12, InW: 12, InC: 1, Conv1: 2, Conv2: 2, Kernel: 3, Classes: 2}, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainWith(n, nil, nil, NewAdam(0.001), TrainConfig{}, nil); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if err := TrainWith(n, []*tensor.Tensor{tensor.New(12, 12, 1)}, []int{0}, nil, TrainConfig{}, nil); err == nil {
+		t.Fatal("nil optimizer accepted")
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	if NewAdam(0).Name() != "adam" || NewSGD(0.1, 0, 0).Name() != "sgd" {
+		t.Fatal("optimizer names wrong")
+	}
+	if NewAdam(0).LR != 0.001 {
+		t.Fatal("adam default LR wrong")
+	}
+}
+
+func TestAdamZeroesGradients(t *testing.T) {
+	n, err := Build(Arch{Name: "t", InH: 12, InW: 12, InC: 1, Conv1: 2, Conv2: 2, Kernel: 3, Classes: 2}, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(12, 12, 1)
+	in.Fill(0.5)
+	_, grad, err := forwardLoss(n, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	NewAdam(0.01).Step(n, 1)
+	for _, p := range n.Params() {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				t.Fatal("adam left gradients nonzero")
+			}
+		}
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	c := ConstantLR()
+	if c(0) != 1 || c(100) != 1 {
+		t.Fatal("constant schedule wrong")
+	}
+	s := StepDecay(2)
+	want := []float64{1, 1, 0.5, 0.5, 0.25}
+	for i, w := range want {
+		if got := s(i); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("step decay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if StepDecay(0)(1) != 0.5 {
+		t.Fatal("step decay zero-interval clamp wrong")
+	}
+	cd := CosineDecay(10, 0.1)
+	if cd(0) != 1 {
+		t.Fatalf("cosine(0) = %v, want 1", cd(0))
+	}
+	if got := cd(10); got != 0.1 {
+		t.Fatalf("cosine(end) = %v, want floor 0.1", got)
+	}
+	for i := 1; i < 10; i++ {
+		if cd(i) >= cd(i-1) {
+			t.Fatal("cosine schedule not monotone decreasing")
+		}
+	}
+}
+
+func TestTrainWithScheduleRestoresBaseLR(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	arch := Arch{Name: "t", InH: 12, InW: 12, InC: 1, Conv1: 2, Conv2: 2, Kernel: 3, Classes: 2}
+	n, err := Build(arch, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, labels := separableData(rng, 16)
+	opt := NewSGD(0.05, 0.9, 0)
+	err = TrainWith(n, inputs, labels, opt, TrainConfig{Epochs: 3, BatchSize: 8, Seed: 1}, StepDecay(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.LR != 0.05 {
+		t.Fatalf("base LR not restored: %v", opt.LR)
+	}
+}
+
+func TestBuildMLP(t *testing.T) {
+	n, err := BuildMLP(MNISTMLPArch(), testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits, err := n.Forward(tensor.New(28, 28, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Len() != 10 {
+		t.Fatalf("MLP logits = %d", logits.Len())
+	}
+	// flatten + 2×(dense+relu) + dense = 6 layers.
+	if len(n.Layers) != 6 {
+		t.Fatalf("MLP layers = %d, want 6", len(n.Layers))
+	}
+	bad := MLPArch{Name: "bad", InH: 8, InW: 8, InC: 1, Hidden: []int{0}, Classes: 3}
+	if bad.Validate() == nil {
+		t.Fatal("zero hidden size accepted")
+	}
+	bad = MLPArch{Name: "bad", InH: 0, InW: 8, InC: 1, Classes: 3}
+	if bad.Validate() == nil {
+		t.Fatal("zero input dim accepted")
+	}
+	bad = MLPArch{Name: "bad", InH: 8, InW: 8, InC: 1, Classes: 1}
+	if bad.Validate() == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestMLPLearnsSeparableProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	arch := MLPArch{Name: "t", InH: 12, InW: 12, InC: 1, Hidden: []int{16}, Classes: 2}
+	n, err := BuildMLP(arch, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, labels := separableData(rng, 100)
+	if err := Train(n, inputs, labels, TrainConfig{Epochs: 5, BatchSize: 8, LR: 0.05, Momentum: 0.9, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(n, inputs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("MLP accuracy = %v", acc)
+	}
+}
+
+func TestAdamVsSGDBothConverge(t *testing.T) {
+	// Both optimizers must reach low loss on the same problem; this guards
+	// against silent divergence in either implementation.
+	for _, name := range []string{"sgd", "adam"} {
+		rng := rand.New(rand.NewSource(9))
+		arch := Arch{Name: "t", InH: 12, InW: 12, InC: 1, Conv1: 3, Conv2: 3, Kernel: 3, Classes: 2}
+		n, err := Build(arch, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs, labels := separableData(rng, 80)
+		var opt Optimizer = NewSGD(0.05, 0.9, 0)
+		epochs := 5
+		if name == "adam" {
+			opt = NewAdam(0.005)
+			epochs = 10
+		}
+		var lastLoss float64
+		err = TrainWith(n, inputs, labels, opt, TrainConfig{
+			Epochs: epochs, BatchSize: 8, Seed: 2,
+			Progress: func(_ int, loss, _ float64) { lastLoss = loss },
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastLoss > 0.4 {
+			t.Fatalf("%s final loss = %v, did not converge", name, lastLoss)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package report renders the evaluation results in the forms the paper
+// presents them: the t/p tables (Tables 1 and 2), per-category event
+// distributions as ASCII histograms (Figures 3 and 4), per-category bar
+// charts of mean counts (Figure 1), and CSV export for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/march"
+	"repro/internal/stats"
+)
+
+// TTable renders the paper's Table 1/2 layout: one row per category pair,
+// t and p columns per event.
+func TTable(w io.Writer, r *core.Report, events ...march.Event) error {
+	if len(events) == 0 {
+		events = r.Dists.Events
+	}
+	byPair := map[[2]int]map[march.Event]core.PairTest{}
+	var pairs [][2]int
+	for _, t := range r.Tests {
+		key := [2]int{t.ClassA, t.ClassB}
+		if _, ok := byPair[key]; !ok {
+			byPair[key] = map[march.Event]core.PairTest{}
+			pairs = append(pairs, key)
+		}
+		byPair[key][t.Event] = t
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+
+	header := fmt.Sprintf("%-8s", "")
+	for _, e := range events {
+		header += fmt.Sprintf("  %24s", e.String())
+	}
+	sub := fmt.Sprintf("%-8s", "pair")
+	for range events {
+		sub += fmt.Sprintf("  %12s%12s", "t-value", "p-value")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, sub)
+	alpha := r.Config.Alpha
+	for _, p := range pairs {
+		row := fmt.Sprintf("t%d,%d    ", p[0], p[1])
+		for _, e := range events {
+			t, ok := byPair[p][e]
+			if !ok {
+				row += fmt.Sprintf("  %12s%12s", "-", "-")
+				continue
+			}
+			mark := " "
+			if t.Distinguishable(alpha) {
+				mark = "*" // the paper bold-faces distinguishable pairs
+			}
+			row += fmt.Sprintf("  %11.4f%s%12s", t.Result.T, mark, formatP(t.Result.P))
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintf(w, "(* = distinguishable at %g%% confidence)\n", 100*(1-alpha))
+	return nil
+}
+
+// formatP renders p-values the way the paper does: "≈0" below 1e-4.
+func formatP(p float64) string {
+	if p < 1e-4 {
+		return "≈0"
+	}
+	return fmt.Sprintf("%.4f", p)
+}
+
+// Alarms prints every raised alarm, or an all-clear line.
+func Alarms(w io.Writer, r *core.Report) {
+	if !r.Leaky() {
+		fmt.Fprintf(w, "no alarms: distributions indistinguishable for all monitored events (%s)\n", r.Name)
+		return
+	}
+	for _, a := range r.Alarms {
+		fmt.Fprintln(w, a.String())
+	}
+	fmt.Fprintf(w, "%d alarm(s) raised for %s\n", len(r.Alarms), r.Name)
+}
+
+// BarChart renders per-class mean values of one event as an ASCII bar
+// chart — the Figure 1 layout.
+func BarChart(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("report: %d labels for %d values", len(labels), len(values))
+	}
+	if len(values) == 0 {
+		return fmt.Errorf("report: empty bar chart")
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxV := values[0]
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	fmt.Fprintln(w, title)
+	labW := 0
+	for _, l := range labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	for i, v := range values {
+		n := int(v / maxV * float64(width))
+		fmt.Fprintf(w, "  %-*s  %s %.1f\n", labW, labels[i], strings.Repeat("█", n), v)
+	}
+	return nil
+}
+
+// HistogramPanel renders the per-class distributions of one event as
+// side-by-side ASCII histograms — the Figure 3/4 layout.
+func HistogramPanel(w io.Writer, title string, r *core.Report, e march.Event, bins, height int) error {
+	if bins <= 0 {
+		bins = 30
+	}
+	if height <= 0 {
+		height = 8
+	}
+	// Common range across classes so the separation is visible.
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, cls := range r.Dists.Classes {
+		xs := r.Dists.Get(e, cls)
+		if len(xs) == 0 {
+			continue
+		}
+		l, h := stats.MinMax(xs)
+		if first {
+			lo, hi, first = l, h, false
+		} else {
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+	}
+	if first {
+		return fmt.Errorf("report: no samples for event %s", e)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(w, "%s — %s (range %.0f … %.0f)\n", title, e, lo, hi)
+	for _, cls := range r.Dists.Classes {
+		xs := r.Dists.Get(e, cls)
+		h, err := stats.NewHistogram(xs, lo, hi, bins)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  category %d (n=%d, mean %.1f, sd %.1f):\n", cls, len(xs),
+			stats.Mean(xs), stats.StdDev(xs))
+		renderHistogram(w, h, height)
+	}
+	return nil
+}
+
+// renderHistogram draws one histogram as `height` rows of block glyphs.
+func renderHistogram(w io.Writer, h *stats.Histogram, height int) {
+	maxC := h.MaxCount()
+	if maxC == 0 {
+		fmt.Fprintln(w, "    (empty)")
+		return
+	}
+	for row := height; row >= 1; row-- {
+		var b strings.Builder
+		b.WriteString("    ")
+		threshold := float64(row-1) / float64(height)
+		for _, c := range h.Counts {
+			frac := float64(c) / float64(maxC)
+			if frac > threshold {
+				b.WriteString("█")
+			} else {
+				b.WriteString(" ")
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	fmt.Fprintf(w, "    %s\n", strings.Repeat("─", len(h.Counts)))
+}
+
+// CSV writes the raw distributions as event,class,run,value rows for
+// external plotting.
+func CSV(w io.Writer, r *core.Report) error {
+	if _, err := fmt.Fprintln(w, "event,class,run,value"); err != nil {
+		return err
+	}
+	for _, e := range r.Dists.Events {
+		for _, cls := range r.Dists.Classes {
+			for i, v := range r.Dists.Get(e, cls) {
+				if _, err := fmt.Fprintf(w, "%s,%d,%d,%.0f\n", e, cls, i, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SummaryTable prints per-class descriptive statistics for every event.
+func SummaryTable(w io.Writer, r *core.Report) {
+	for _, e := range r.Dists.Events {
+		fmt.Fprintf(w, "%s:\n", e)
+		fmt.Fprintf(w, "  %-10s%10s%12s%12s%12s%12s\n", "class", "n", "mean", "sd", "min", "max")
+		for _, cls := range r.Dists.Classes {
+			s := r.Dists.Summary(e, cls)
+			fmt.Fprintf(w, "  %-10d%10d%12.1f%12.1f%12.0f%12.0f\n", cls, s.N, s.Mean, s.StdDev, s.Min, s.Max)
+		}
+	}
+}

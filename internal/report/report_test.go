@@ -1,0 +1,179 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/march"
+	"repro/internal/stats"
+)
+
+// fakeReport builds a Report by hand so rendering is tested without
+// running a full evaluation.
+func fakeReport() *core.Report {
+	d := &core.Distributions{
+		Events:  []march.Event{march.EvCacheMisses, march.EvBranches},
+		Classes: []int{1, 2},
+		Samples: map[march.Event]map[int][]float64{
+			march.EvCacheMisses: {
+				1: {100, 102, 98, 101, 99},
+				2: {150, 148, 152, 149, 151},
+			},
+			march.EvBranches: {
+				1: {5000, 5010, 4990, 5002, 4998},
+				2: {5001, 5011, 4989, 5003, 4997},
+			},
+		},
+	}
+	var tests []core.PairTest
+	for _, e := range d.Events {
+		res, _ := stats.WelchTTest(d.Get(e, 1), d.Get(e, 2))
+		tests = append(tests, core.PairTest{Event: e, ClassA: 1, ClassB: 2, Result: res})
+	}
+	r := &core.Report{
+		Name:   "fake",
+		Config: core.Config{Alpha: 0.05},
+		Dists:  d,
+		Tests:  tests,
+	}
+	for _, t := range tests {
+		if t.Distinguishable(0.05) {
+			r.Alarms = append(r.Alarms, core.Alarm{Event: t.Event, ClassA: 1, ClassB: 2, T: t.Result.T, P: t.Result.P})
+		}
+	}
+	return r
+}
+
+func TestTTableLayout(t *testing.T) {
+	r := fakeReport()
+	var b strings.Builder
+	if err := TTable(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "cache-misses") || !strings.Contains(out, "branches") {
+		t.Fatalf("missing event headers:\n%s", out)
+	}
+	if !strings.Contains(out, "t1,2") {
+		t.Fatalf("missing pair row:\n%s", out)
+	}
+	// The separated cache-miss pair must be starred, and p printed as ≈0.
+	if !strings.Contains(out, "≈0") {
+		t.Fatalf("tiny p not rendered as ≈0:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no distinguishable marker:\n%s", out)
+	}
+}
+
+func TestTTableEventSubset(t *testing.T) {
+	r := fakeReport()
+	var b strings.Builder
+	if err := TTable(&b, r, march.EvBranches); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "cache-misses") {
+		t.Fatal("subset rendering leaked other events")
+	}
+}
+
+func TestAlarmsOutput(t *testing.T) {
+	r := fakeReport()
+	var b strings.Builder
+	Alarms(&b, r)
+	if !strings.Contains(b.String(), "ALARM") {
+		t.Fatalf("no alarm line:\n%s", b.String())
+	}
+	quiet := &core.Report{Name: "quiet", Dists: r.Dists}
+	b.Reset()
+	Alarms(&b, quiet)
+	if !strings.Contains(b.String(), "no alarms") {
+		t.Fatalf("missing all-clear:\n%s", b.String())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	err := BarChart(&b, "Figure 1(a)", []string{"cat 1", "cat 2"}, []float64{80, 100}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 1(a)") || !strings.Contains(out, "cat 1") {
+		t.Fatalf("chart malformed:\n%s", out)
+	}
+	// The larger value must have the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Fatalf("bars not proportional:\n%s", out)
+	}
+	if err := BarChart(&b, "bad", []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	if err := BarChart(&b, "bad", nil, nil, 10); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var b strings.Builder
+	if err := BarChart(&b, "zeros", []string{"a", "b"}, []float64{0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPanel(t *testing.T) {
+	r := fakeReport()
+	var b strings.Builder
+	if err := HistogramPanel(&b, "Figure 3(a)", r, march.EvCacheMisses, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "category 1") || !strings.Contains(out, "category 2") {
+		t.Fatalf("panel missing categories:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Fatalf("panel has no bars:\n%s", out)
+	}
+	if err := HistogramPanel(&b, "x", r, march.EvCycles, 10, 5); err == nil {
+		t.Fatal("missing event accepted")
+	}
+}
+
+func TestHistogramPanelDefaults(t *testing.T) {
+	r := fakeReport()
+	var b strings.Builder
+	if err := HistogramPanel(&b, "defaults", r, march.EvBranches, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	r := fakeReport()
+	var b strings.Builder
+	if err := CSV(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Header + 2 events × 2 classes × 5 runs = 21 lines.
+	if len(lines) != 21 {
+		t.Fatalf("CSV has %d lines, want 21", len(lines))
+	}
+	if lines[0] != "event,class,run,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "cache-misses,1,0,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	r := fakeReport()
+	var b strings.Builder
+	SummaryTable(&b, r)
+	out := b.String()
+	if !strings.Contains(out, "mean") || !strings.Contains(out, "cache-misses:") {
+		t.Fatalf("summary malformed:\n%s", out)
+	}
+}

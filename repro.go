@@ -1,0 +1,293 @@
+// Package repro is the public API of the reproduction of "How Secure are
+// Deep Learning Algorithms from Side-Channel based Reverse Engineering?"
+// (Alam & Mukhopadhyay, DAC 2019).
+//
+// It ties the substrates together into the paper's two case studies:
+//
+//   - a Scenario bundles a synthetic dataset, a CNN trained on it, and an
+//     instrumented execution of that CNN on a simulated core;
+//   - Evaluate runs the paper's Evaluator (HPC collection + pairwise Welch
+//     t-tests) against the scenario and reports alarms;
+//   - the experiment helpers regenerate every table and figure of the
+//     paper's evaluation section (see bench_test.go and cmd/figures).
+//
+// Quickstart:
+//
+//	s, err := repro.NewScenario(repro.ScenarioConfig{Dataset: repro.DatasetMNIST})
+//	if err != nil { ... }
+//	rep, err := s.Evaluate(repro.EvalConfig{})
+//	if err != nil { ... }
+//	if rep.Leaky() { fmt.Println("input privacy leak detected") }
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/instrument"
+	"repro/internal/march"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Dataset selects one of the paper's two case studies.
+type Dataset string
+
+// The two datasets of the paper's evaluation.
+const (
+	DatasetMNIST Dataset = "mnist"
+	DatasetCIFAR Dataset = "cifar"
+)
+
+// Re-exported types so downstream users need only this package for the
+// common workflow.
+type (
+	// Report is the evaluator's output (alarms, tests, distributions).
+	Report = core.Report
+	// Event is a hardware performance counter event.
+	Event = march.Event
+	// DefenseLevel selects a hardening strategy for the classifier.
+	DefenseLevel = defense.Level
+)
+
+// Events (Figure 2(b) order).
+const (
+	EvBranches        = march.EvBranches
+	EvBranchMisses    = march.EvBranchMisses
+	EvBusCycles       = march.EvBusCycles
+	EvCacheMisses     = march.EvCacheMisses
+	EvCacheReferences = march.EvCacheReferences
+	EvCycles          = march.EvCycles
+	EvInstructions    = march.EvInstructions
+	EvRefCycles       = march.EvRefCycles
+)
+
+// Defense levels.
+const (
+	DefenseBaseline       = defense.Baseline
+	DefenseDense          = defense.DenseExecution
+	DefenseConstantTime   = defense.ConstantTime
+	DefenseNoiseInjection = defense.NoiseInjection
+)
+
+// ScenarioConfig controls scenario construction. The zero value (plus a
+// Dataset) reproduces the paper's setup.
+type ScenarioConfig struct {
+	Dataset Dataset
+	// Seed drives dataset generation, weight init and noise; default 1.
+	Seed int64
+	// PerClassTrain / PerClassTest size the synthetic dataset; defaults
+	// 120 / 60.
+	PerClassTrain, PerClassTest int
+	// Epochs of SGD training; default 2.
+	Epochs int
+	// LR is the SGD learning rate; defaults to 0.05 for MNIST and 0.01
+	// for CIFAR (the larger 3-channel net diverges at 0.05).
+	LR float64
+	// Defense hardens the deployed classifier; default Baseline (leaky).
+	Defense DefenseLevel
+	// DisableRuntime removes the simulated framework overhead (pure
+	// kernel measurements; used by ablations).
+	DisableRuntime bool
+	// DisableNoise removes measurement noise (deterministic counts).
+	DisableNoise bool
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PerClassTrain <= 0 {
+		c.PerClassTrain = 120
+	}
+	if c.PerClassTest <= 0 {
+		c.PerClassTest = 60
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 2
+	}
+	return c
+}
+
+// Scenario is one deployed case study: data, model, simulated core and the
+// instrumented classifier running on it.
+type Scenario struct {
+	Config ScenarioConfig
+	Arch   nn.Arch
+	Train  *dataset.Set
+	Test   *dataset.Set
+	Net    *nn.Network
+	Engine *march.Engine
+	// Target is the classifier under evaluation (satisfies core.Target).
+	Target core.Target
+	// TestAccuracy of the trained model on the synthetic test split.
+	TestAccuracy float64
+}
+
+// NewScenario generates the dataset, trains the CNN, and deploys it
+// instrumented on a simulated core.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	var (
+		arch nn.Arch
+		gen  func(dataset.Config) (*dataset.Set, *dataset.Set, error)
+	)
+	switch cfg.Dataset {
+	case DatasetMNIST:
+		arch = nn.MNISTArch()
+		gen = dataset.MNISTLike
+	case DatasetCIFAR:
+		arch = nn.CIFARArch()
+		gen = dataset.CIFARLike
+	default:
+		return nil, fmt.Errorf("repro: unknown dataset %q (want %q or %q)", cfg.Dataset, DatasetMNIST, DatasetCIFAR)
+	}
+	train, test, err := gen(dataset.Config{
+		PerClassTrain: cfg.PerClassTrain,
+		PerClassTest:  cfg.PerClassTest,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.Build(arch, rand.New(rand.NewSource(cfg.Seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	lr := cfg.LR
+	if lr <= 0 {
+		lr = 0.05
+		if cfg.Dataset == DatasetCIFAR {
+			lr = 0.01
+		}
+	}
+	err = nn.Train(net, train.Inputs(), train.Labels(), nn.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: 16, LR: lr, Momentum: 0.9, Seed: cfg.Seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc, err := nn.Accuracy(net, test.Inputs(), test.Labels())
+	if err != nil {
+		return nil, err
+	}
+
+	var noise *march.NoiseModel
+	if !cfg.DisableNoise {
+		noise = march.DefaultNoise(cfg.Seed + 3)
+	}
+	engine, err := march.NewEngine(march.Config{
+		Hierarchy: instrument.SimHierarchy(),
+		Noise:     noise,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := instrument.DefaultRuntime()
+	if cfg.DisableRuntime {
+		rt = instrument.NoRuntime()
+	}
+	target, err := defense.New(net, engine, defense.Config{
+		Level:   cfg.Defense,
+		Seed:    cfg.Seed + 4,
+		Runtime: rt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Config:       cfg,
+		Arch:         arch,
+		Train:        train,
+		Test:         test,
+		Net:          net,
+		Engine:       engine,
+		Target:       target,
+		TestAccuracy: acc,
+	}, nil
+}
+
+// ClassPools groups the test images of the requested categories, the pools
+// the Evaluator cycles through.
+func (s *Scenario) ClassPools(classes ...int) (map[int][]*tensor.Tensor, error) {
+	if len(classes) == 0 {
+		classes = PaperClasses()
+	}
+	by := s.Test.ByClass()
+	pools := map[int][]*tensor.Tensor{}
+	for _, cls := range classes {
+		idxs := by[cls]
+		if len(idxs) == 0 {
+			return nil, fmt.Errorf("repro: no test images for category %d", cls)
+		}
+		for _, i := range idxs {
+			pools[cls] = append(pools[cls], s.Test.Samples[i].Image)
+		}
+	}
+	return pools, nil
+}
+
+// PaperClasses returns the four categories used throughout the paper's
+// evaluation ("without loss of generality, four different categories").
+func PaperClasses() []int { return []int{1, 2, 3, 4} }
+
+// EvalConfig controls an evaluation campaign. The zero value reproduces
+// the paper's settings (cache-misses and branches, α = 0.05, four
+// categories, 300 monitored classifications per category).
+type EvalConfig struct {
+	Classes      []int
+	Events       []Event
+	RunsPerClass int
+	Alpha        float64
+}
+
+// Evaluate runs the paper's Evaluator against the scenario.
+func (s *Scenario) Evaluate(cfg EvalConfig) (*Report, error) {
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = PaperClasses()
+	}
+	if cfg.RunsPerClass <= 0 {
+		cfg.RunsPerClass = 300
+	}
+	ev, err := core.NewEvaluator(core.Config{
+		Events:       cfg.Events,
+		Alpha:        cfg.Alpha,
+		RunsPerClass: cfg.RunsPerClass,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pools, err := s.ClassPools(cfg.Classes...)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/%s", s.Config.Dataset, s.Config.Defense)
+	return ev.Evaluate(name, s.Target, pools)
+}
+
+// Cached default scenarios: building one means generating data and
+// training a CNN, so the experiment harness shares them.
+var (
+	defaultMu     sync.Mutex
+	defaultCached = map[Dataset]*Scenario{}
+)
+
+// DefaultScenario returns the shared baseline scenario for a dataset,
+// building it on first use.
+func DefaultScenario(d Dataset) (*Scenario, error) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if s, ok := defaultCached[d]; ok {
+		return s, nil
+	}
+	s, err := NewScenario(ScenarioConfig{Dataset: d})
+	if err != nil {
+		return nil, err
+	}
+	defaultCached[d] = s
+	return s, nil
+}
