@@ -1,0 +1,31 @@
+# Developer/CI entry points. `make ci` is the gate: vet, build, the full
+# test suite under the race detector, and a one-iteration benchmark smoke
+# pass (which also regenerates the paper's tables and figures once).
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci golden
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# Regenerate the golden end-to-end report after a *deliberate* behavior
+# change (review the diff before committing it).
+golden:
+	$(GO) test -run TestGoldenReport -update .
+
+ci: vet build race bench

@@ -6,18 +6,26 @@
 // Usage:
 //
 //	evaluate -dataset mnist [-runs 300] [-classes 1,2,3,4] [-defense baseline]
-//	         [-alpha 0.05] [-csv out.csv]
+//	         [-alpha 0.05] [-csv out.csv] [-events base] [-workers N] [-seed 1]
+//
+// With -workers ≥ 1 the campaign runs on the concurrent sharded pipeline:
+// collection fans out over the worker pool with deterministic per-shard
+// seeds derived from -seed, so any worker count reproduces the same
+// report. -workers 0 keeps the legacy sequential path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/hpc"
 )
 
 func main() {
@@ -30,10 +38,13 @@ func main() {
 		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
 		alpha   = flag.Float64("alpha", 0.05, "significance level")
 		csvPath = flag.String("csv", "", "write raw distributions to this CSV file")
+		events  = flag.String("events", "base", "event set (base, fig2b, extended) or comma-separated event list")
+		workers = flag.Int("workers", 0, "pipeline workers; 0 = legacy sequential path, -1 = GOMAXPROCS")
+		seed    = flag.Int64("seed", 0, "pipeline root seed for per-shard RNG derivation; 0 = scenario seed")
 	)
 	flag.Parse()
 
-	level, err := parseDefense(*defName)
+	level, err := repro.ParseDefense(*defName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,15 +52,47 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	evs, err := hpc.ParseEventSpec(*events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw := *workers
+	if nw < 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	grouped := len(evs) > hpc.DefaultCounters
+	if grouped && nw == 0 {
+		// Event sets wider than the register file need one campaign per
+		// register-sized group; that path runs on the pipeline.
+		nw = 1
+	}
 
 	s, err := repro.NewScenario(repro.ScenarioConfig{Dataset: repro.Dataset(*dsName), Defense: level})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("scenario: %s, defense %s, test accuracy %.3f\n", *dsName, level, s.TestAccuracy)
-	fmt.Printf("collecting %d classifications per category for categories %v...\n", *runs, cls)
+	switch {
+	case grouped:
+		fmt.Printf("collecting %d classifications per category for categories %v (%d events in %d register groups, %d pipeline workers, root seed %d)...\n",
+			*runs, cls, len(evs), (len(evs)+hpc.DefaultCounters-1)/hpc.DefaultCounters, nw, *seed)
+	case nw > 0:
+		fmt.Printf("collecting %d classifications per category for categories %v (%d pipeline workers, root seed %d)...\n",
+			*runs, cls, nw, *seed)
+	default:
+		fmt.Printf("collecting %d classifications per category for categories %v...\n", *runs, cls)
+	}
 
-	rep, err := s.Evaluate(repro.EvalConfig{Classes: cls, RunsPerClass: *runs, Alpha: *alpha})
+	evalCfg := repro.EvalConfig{
+		Classes: cls, Events: evs, RunsPerClass: *runs, Alpha: *alpha,
+		Workers: nw, Seed: *seed,
+	}
+	var rep *repro.Report
+	if grouped {
+		rep, err = s.EvaluateGrouped(context.Background(), level, evalCfg)
+	} else {
+		rep, err = s.Evaluate(evalCfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,21 +125,6 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("raw distributions written to %s\n", *csvPath)
-	}
-}
-
-func parseDefense(s string) (repro.DefenseLevel, error) {
-	switch s {
-	case "baseline":
-		return repro.DefenseBaseline, nil
-	case "dense-execution":
-		return repro.DefenseDense, nil
-	case "constant-time":
-		return repro.DefenseConstantTime, nil
-	case "noise-injection":
-		return repro.DefenseNoiseInjection, nil
-	default:
-		return 0, fmt.Errorf("unknown defense %q", s)
 	}
 }
 

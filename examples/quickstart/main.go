@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro"
 )
@@ -29,9 +30,12 @@ func main() {
 	fmt.Printf("model trained: %.0f%% test accuracy\n\n", 100*s.TestAccuracy)
 
 	// The Evaluator monitors HPC events while the classifier handles
-	// inputs of each category, then t-tests every category pair.
+	// inputs of each category, then t-tests every category pair. Workers
+	// selects the concurrent sharded pipeline: collection fans out over
+	// the CPU with deterministic per-shard seeds, so any worker count
+	// reproduces the same report.
 	fmt.Println("evaluating leakage for categories 1-4 (cache-misses, branches)...")
-	rep, err := s.Evaluate(repro.EvalConfig{RunsPerClass: 100})
+	rep, err := s.Evaluate(repro.EvalConfig{RunsPerClass: 100, Workers: runtime.GOMAXPROCS(0)})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,7 +12,9 @@ import (
 
 // Figure1 computes the average number of cache-misses per category — the
 // data behind Figure 1(a) (MNIST) and 1(b) (CIFAR-10). It returns the
-// per-category means in the order of cfg.Classes.
+// per-category means in the order of cfg.Classes. Set cfg.Workers to run
+// the collection campaign on the concurrent sharded pipeline; the means
+// are reproducible for a fixed cfg.Seed at any worker count.
 func Figure1(s *Scenario, cfg EvalConfig) ([]float64, *Report, error) {
 	cfg.Events = []Event{EvCacheMisses}
 	rep, err := s.Evaluate(cfg)

@@ -16,8 +16,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/hpc"
 	"repro/internal/march"
@@ -212,107 +212,55 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 // every category in perClass and returns the distributions. perClass maps
 // category label → pool of images of that category; images are cycled when
 // the pool is smaller than RunsPerClass.
+//
+// Collect is the sequential execution of the campaign's shard plan (see
+// PlanShards): one shard per class, executed in class order on the single
+// provided target. Each shard cold-resets the simulated core before its
+// warm-up, so cache and predictor state from one class cannot bleed into
+// the next class's traces. The concurrent pipeline executes the same shard
+// units on per-worker engines.
 func (ev *Evaluator) Collect(target Target, perClass map[int][]*tensor.Tensor) (*Distributions, error) {
+	return ev.CollectCtx(context.Background(), target, perClass)
+}
+
+// CollectCtx is Collect with cancellation between classifications.
+func (ev *Evaluator) CollectCtx(ctx context.Context, target Target, perClass map[int][]*tensor.Tensor) (*Distributions, error) {
 	if target == nil {
 		return nil, fmt.Errorf("core: nil target")
 	}
-	if len(perClass) < 2 {
-		return nil, fmt.Errorf("core: need at least 2 categories, got %d", len(perClass))
-	}
-	classes := make([]int, 0, len(perClass))
-	for cls, pool := range perClass {
-		if len(pool) == 0 {
-			return nil, fmt.Errorf("core: category %d has no images", cls)
-		}
-		classes = append(classes, cls)
-	}
-	sort.Ints(classes)
-
-	pmu, err := hpc.NewPMU(target.Engine(), ev.cfg.Registers)
+	shards, err := ev.PlanShards(perClass, 0, 0)
 	if err != nil {
 		return nil, err
 	}
-	if err := pmu.Program(ev.cfg.Events...); err != nil {
-		return nil, err
-	}
-
-	d := &Distributions{
-		Events:  append([]march.Event(nil), ev.cfg.Events...),
-		Classes: classes,
-		Samples: map[march.Event]map[int][]float64{},
-	}
-	for _, e := range ev.cfg.Events {
-		d.Samples[e] = map[int][]float64{}
-	}
-
-	// Warm-up: unmeasured classifications.
-	warm := perClass[classes[0]]
-	for i := 0; i < ev.cfg.WarmupRuns; i++ {
-		if _, err := target.Classify(warm[i%len(warm)]); err != nil {
-			return nil, fmt.Errorf("core: warm-up classification: %w", err)
+	parts := make([]*Distributions, len(shards))
+	for i, sh := range shards {
+		part, err := ev.CollectShard(ctx, target, sh)
+		if err != nil {
+			return nil, err
 		}
+		parts[i] = part
 	}
-
-	for _, cls := range classes {
-		pool := perClass[cls]
-		for run := 0; run < ev.cfg.RunsPerClass; run++ {
-			img := pool[run%len(pool)]
-			var classifyErr error
-			prof, err := pmu.MeasureOnce(func() {
-				_, classifyErr = target.Classify(img)
-			})
-			if err != nil {
-				return nil, err
-			}
-			if classifyErr != nil {
-				return nil, fmt.Errorf("core: classification failed: %w", classifyErr)
-			}
-			for _, e := range ev.cfg.Events {
-				d.Samples[e][cls] = append(d.Samples[e][cls], prof.Get(e))
-			}
-		}
-	}
-	return d, nil
+	return ev.MergeShards(shards, parts)
 }
 
 // Test performs step 2 on collected distributions: Welch t-tests for every
-// category pair of every event.
+// category pair of every event. It is the sequential execution of the
+// campaign's TestJobs; the concurrent pipeline batches the same jobs
+// across workers and finalizes them identically.
 func (ev *Evaluator) Test(d *Distributions) ([]PairTest, error) {
-	if d == nil || len(d.Classes) < 2 {
-		return nil, fmt.Errorf("core: need distributions over at least 2 categories")
+	jobs, err := TestJobs(d)
+	if err != nil {
+		return nil, err
 	}
-	var tests []PairTest
-	for _, e := range d.Events {
-		var eventTests []PairTest
-		for i := 0; i < len(d.Classes); i++ {
-			for j := i + 1; j < len(d.Classes); j++ {
-				a, b := d.Classes[i], d.Classes[j]
-				res, err := ev.runTest(d.Get(e, a), d.Get(e, b))
-				if err != nil {
-					return nil, fmt.Errorf("core: %s test %s t%d,%d: %w", ev.cfg.Method, e, a, b, err)
-				}
-				eventTests = append(eventTests, PairTest{
-					Event:      e,
-					ClassA:     a,
-					ClassB:     b,
-					Result:     res,
-					EffectSize: stats.CohensD(d.Get(e, a), d.Get(e, b)),
-				})
-			}
+	tests := make([]PairTest, len(jobs))
+	for i, j := range jobs {
+		t, err := ev.RunTestJob(d, j)
+		if err != nil {
+			return nil, err
 		}
-		if ev.cfg.HolmCorrection {
-			ps := make([]float64, len(eventTests))
-			for i, t := range eventTests {
-				ps[i] = t.Result.P
-			}
-			rej := stats.HolmBonferroni(ps, ev.cfg.Alpha)
-			for i := range eventTests {
-				eventTests[i].HolmReject = rej[i]
-			}
-		}
-		tests = append(tests, eventTests...)
+		tests[i] = t
 	}
-	return tests, nil
+	return ev.FinalizeTests(tests), nil
 }
 
 // runTest applies the configured hypothesis test, normalizing the result
@@ -342,14 +290,5 @@ func (ev *Evaluator) Evaluate(name string, target Target, perClass map[int][]*te
 	if err != nil {
 		return nil, err
 	}
-	r := &Report{Name: name, Config: ev.cfg, Dists: d, Tests: tests}
-	for _, t := range tests {
-		if t.Distinguishable(ev.cfg.Alpha) {
-			r.Alarms = append(r.Alarms, Alarm{
-				Event: t.Event, ClassA: t.ClassA, ClassB: t.ClassB,
-				T: t.Result.T, P: t.Result.P,
-			})
-		}
-	}
-	return r, nil
+	return ev.BuildReport(name, d, tests), nil
 }

@@ -1,0 +1,47 @@
+package hpc
+
+import (
+	"testing"
+
+	"repro/internal/march"
+)
+
+func TestParseEventSpecNamedSets(t *testing.T) {
+	base, err := ParseEventSpec("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 || base[0] != march.EvCacheMisses || base[1] != march.EvBranches {
+		t.Fatalf("base = %v", base)
+	}
+	fig, err := ParseEventSpec("fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig) != len(march.AllEvents()) {
+		t.Fatalf("fig2b has %d events, want %d", len(fig), len(march.AllEvents()))
+	}
+	ext, err := ParseEventSpec("extended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != march.NumEvents {
+		t.Fatalf("extended has %d events, want %d", len(ext), march.NumEvents)
+	}
+}
+
+func TestParseEventSpecCommaList(t *testing.T) {
+	evs, err := ParseEventSpec("cycles, instructions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0] != march.EvCycles || evs[1] != march.EvInstructions {
+		t.Fatalf("list = %v", evs)
+	}
+	if _, err := ParseEventSpec("no-such-event"); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+	if _, err := ParseEventSpec(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}

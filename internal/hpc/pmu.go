@@ -239,3 +239,22 @@ func ParseEventList(s string) ([]march.Event, error) {
 	}
 	return out, nil
 }
+
+// ParseEventSpec resolves either a named event set or a perf-style comma
+// list. Named sets:
+//
+//	base     — cache-misses and branches (the paper's Tables 1 and 2)
+//	fig2b    — the eight events of Figure 2(b)
+//	extended — every modeled event, including per-level cache/TLB events
+func ParseEventSpec(s string) ([]march.Event, error) {
+	switch strings.TrimSpace(s) {
+	case "base":
+		return []march.Event{march.EvCacheMisses, march.EvBranches}, nil
+	case "fig2b":
+		return march.AllEvents(), nil
+	case "extended":
+		return march.ExtendedEvents(), nil
+	default:
+		return ParseEventList(s)
+	}
+}

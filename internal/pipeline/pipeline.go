@@ -1,0 +1,244 @@
+// Package pipeline is the concurrent, sharded execution engine for the
+// paper's Evaluator. Profiling every (event, class) pair over hundreds of
+// traces dominates evaluation wall-clock; this package fans that
+// collection out over a pool of workers while keeping results bit-for-bit
+// identical to a sequential run.
+//
+// # Architecture
+//
+//	shards ── collect (N workers, one engine per shard) ── merge ── test (batched) ── report
+//
+// The campaign is split into deterministic shard units (core.PlanShards):
+// contiguous run ranges of a single category. Each shard is executed on a
+// *fresh* target built by the TargetFactory from the shard's derived seed
+// — simulated march.Engines are stateful and must never be shared, so no
+// engine is ever visible to two goroutines. Because every shard's noise
+// and jitter streams are seeded from (rootSeed, class, start) alone,
+// scheduling cannot influence observations: workers=1 and workers=N
+// produce the same Distributions, the same PairTests and the same Report.
+//
+// After the merge, the pairwise hypothesis-test stage batches the
+// event×pair work items (core.TestJobs) across the same worker pool;
+// results are written back by job index and finalized in deterministic
+// order.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// TargetFactory builds a fresh, self-contained target — with its own
+// simulated engine — for one shard. seed is the shard's derived RNG seed
+// and must drive every source of randomness in the target (measurement
+// noise, runtime jitter, defense dummy traffic) so that a shard's
+// observations depend only on its seed, never on which worker runs it.
+type TargetFactory func(seed int64) (core.Target, error)
+
+// DefaultShardRuns is the default maximum number of measured runs per
+// shard. It balances scheduling granularity (more shards → better load
+// balance across workers) against per-shard overhead (each shard pays a
+// cold reset plus warm-up). It must stay fixed across worker counts: the
+// shard plan, not the pool size, defines the observations.
+const DefaultShardRuns = 50
+
+// Config controls the pool.
+type Config struct {
+	// Workers is the number of concurrent collection goroutines;
+	// 0 → runtime.GOMAXPROCS(0). Workers=1 is the sequential reference
+	// execution of the same plan.
+	Workers int
+	// RootSeed derives every per-shard seed (default 1).
+	RootSeed int64
+	// ShardRuns bounds measured runs per shard (default DefaultShardRuns).
+	// Changing it changes the shard plan and therefore the observations;
+	// keep it fixed when comparing runs.
+	ShardRuns int
+	// TestBatch is the number of pair-test jobs per batch in the test
+	// stage; 0 sizes batches automatically from the job count and worker
+	// count.
+	TestBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RootSeed == 0 {
+		c.RootSeed = 1
+	}
+	if c.ShardRuns <= 0 {
+		c.ShardRuns = DefaultShardRuns
+	}
+	return c
+}
+
+// Pipeline executes evaluation campaigns concurrently.
+type Pipeline struct {
+	ev  *core.Evaluator
+	cfg Config
+}
+
+// New builds a pipeline around an evaluator.
+func New(ev *core.Evaluator, cfg Config) (*Pipeline, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("pipeline: nil evaluator")
+	}
+	return &Pipeline{ev: ev, cfg: cfg.withDefaults()}, nil
+}
+
+// Config returns the pipeline's (defaults-applied) configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Collect fans the campaign's shard plan out over the worker pool and
+// merges the per-shard distributions. Each worker drains shards from a
+// shared queue, building a fresh target per shard via factory; the merge
+// places samples by (class, run) offset, so the result is independent of
+// completion order. The first error (or ctx cancellation) stops all
+// workers and is returned.
+func (p *Pipeline) Collect(ctx context.Context, factory TargetFactory, perClass map[int][]*tensor.Tensor) (*core.Distributions, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("pipeline: nil target factory")
+	}
+	shards, err := p.ev.PlanShards(perClass, p.cfg.RootSeed, p.cfg.ShardRuns)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*core.Distributions, len(shards))
+	err = p.forEach(ctx, len(shards), func(ctx context.Context, i int) error {
+		sh := shards[i]
+		target, err := factory(sh.Seed)
+		if err != nil {
+			return fmt.Errorf("pipeline: shard %d target: %w", sh.Index, err)
+		}
+		part, err := p.ev.CollectShard(ctx, target, sh)
+		if err != nil {
+			return err
+		}
+		parts[i] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.ev.MergeShards(shards, parts)
+}
+
+// Test batches the pairwise hypothesis tests of collected distributions
+// across the worker pool. Results are written back by job index and
+// finalized (Holm correction per event) in the same deterministic order
+// the sequential core.Evaluator.Test uses.
+func (p *Pipeline) Test(ctx context.Context, d *core.Distributions) ([]core.PairTest, error) {
+	jobs, err := core.TestJobs(d)
+	if err != nil {
+		return nil, err
+	}
+	batch := p.cfg.TestBatch
+	if batch <= 0 {
+		// Aim for a few batches per worker so a slow batch cannot serialize
+		// the stage, without paying per-job scheduling costs.
+		batch = (len(jobs) + 4*p.cfg.Workers - 1) / (4 * p.cfg.Workers)
+		if batch < 1 {
+			batch = 1
+		}
+	}
+	batches := (len(jobs) + batch - 1) / batch
+	tests := make([]core.PairTest, len(jobs))
+	err = p.forEach(ctx, batches, func(ctx context.Context, b int) error {
+		lo := b * batch
+		hi := lo + batch
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		for _, j := range jobs[lo:hi] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			t, err := p.ev.RunTestJob(d, j)
+			if err != nil {
+				return err
+			}
+			tests[j.Index] = t
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.ev.FinalizeTests(tests), nil
+}
+
+// Evaluate runs the full campaign — sharded collection, merge, batched
+// pairwise tests — and assembles the report.
+func (p *Pipeline) Evaluate(ctx context.Context, name string, factory TargetFactory, perClass map[int][]*tensor.Tensor) (*core.Report, error) {
+	d, err := p.Collect(ctx, factory, perClass)
+	if err != nil {
+		return nil, err
+	}
+	tests, err := p.Test(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return p.ev.BuildReport(name, d, tests), nil
+}
+
+// forEach runs fn(0..n-1) over the worker pool, stopping on the first
+// error or context cancellation and returning that first error.
+func (p *Pipeline) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := p.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			i = n // stop feeding; workers drain and exit
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -21,6 +21,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/march"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
 
@@ -66,6 +68,9 @@ const (
 	EvRefCycles       = march.EvRefCycles
 )
 
+// AllPaperEvents returns the eight events of the paper's Figure 2(b).
+func AllPaperEvents() []Event { return march.AllEvents() }
+
 // Defense levels.
 const (
 	DefenseBaseline       = defense.Baseline
@@ -73,6 +78,17 @@ const (
 	DefenseConstantTime   = defense.ConstantTime
 	DefenseNoiseInjection = defense.NoiseInjection
 )
+
+// ParseDefense resolves a defense-level name as printed by
+// DefenseLevel.String() — the single mapping the CLIs share.
+func ParseDefense(s string) (DefenseLevel, error) {
+	for _, l := range []DefenseLevel{DefenseBaseline, DefenseDense, DefenseConstantTime, DefenseNoiseInjection} {
+		if s == l.String() {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("repro: unknown defense %q (want baseline, dense-execution, constant-time or noise-injection)", s)
+}
 
 // ScenarioConfig controls scenario construction. The zero value (plus a
 // Dataset) reproduces the paper's setup.
@@ -237,16 +253,36 @@ func PaperClasses() []int { return []int{1, 2, 3, 4} }
 
 // EvalConfig controls an evaluation campaign. The zero value reproduces
 // the paper's settings (cache-misses and branches, α = 0.05, four
-// categories, 300 monitored classifications per category).
+// categories, 300 monitored classifications per category) on the
+// sequential path.
 type EvalConfig struct {
 	Classes      []int
 	Events       []Event
 	RunsPerClass int
 	Alpha        float64
+	// Workers selects the concurrent sharded pipeline: ≥1 fans collection
+	// and testing out over that many workers (1 is the sequential
+	// reference execution of the same shard plan). 0 keeps the legacy
+	// single-engine sequential path on Scenario.Target.
+	Workers int
+	// Seed is the pipeline's root seed, from which every shard's RNG seed
+	// is derived; 0 uses the scenario seed. Ignored on the legacy path.
+	Seed int64
+	// ShardRuns bounds measured runs per shard in the pipeline; 0 uses
+	// pipeline.DefaultShardRuns. Ignored on the legacy path.
+	ShardRuns int
 }
 
 // Evaluate runs the paper's Evaluator against the scenario.
 func (s *Scenario) Evaluate(cfg EvalConfig) (*Report, error) {
+	return s.EvaluateCtx(context.Background(), cfg)
+}
+
+// EvaluateCtx is Evaluate with cancellation. With cfg.Workers ≥ 1 the
+// campaign runs on the concurrent sharded pipeline (fresh per-shard
+// engines, deterministic per-shard seeds); with Workers == 0 it runs
+// sequentially on the scenario's deployed target.
+func (s *Scenario) EvaluateCtx(ctx context.Context, cfg EvalConfig) (*Report, error) {
 	if len(cfg.Classes) == 0 {
 		cfg.Classes = PaperClasses()
 	}
@@ -266,7 +302,69 @@ func (s *Scenario) Evaluate(cfg EvalConfig) (*Report, error) {
 		return nil, err
 	}
 	name := fmt.Sprintf("%s/%s", s.Config.Dataset, s.Config.Defense)
-	return ev.Evaluate(name, s.Target, pools)
+	if cfg.Workers == 0 {
+		d, err := ev.CollectCtx(ctx, s.Target, pools)
+		if err != nil {
+			return nil, err
+		}
+		tests, err := ev.Test(d)
+		if err != nil {
+			return nil, err
+		}
+		return ev.BuildReport(name, d, tests), nil
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = s.Config.Seed
+	}
+	p, err := pipeline.New(ev, pipeline.Config{
+		Workers:   cfg.Workers,
+		RootSeed:  seed,
+		ShardRuns: cfg.ShardRuns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.Evaluate(ctx, name, s.TargetFactory(), pools)
+}
+
+// TargetFactory returns a pipeline factory that deploys the scenario's
+// trained network on a fresh simulated core per shard, at the scenario's
+// configured defense level. The factory only reads the shared network
+// weights; every stateful structure (engine, caches, predictor, noise and
+// jitter RNGs) is rebuilt per shard from the shard seed.
+func (s *Scenario) TargetFactory() pipeline.TargetFactory {
+	return s.FactoryFor(s.Config.Defense)
+}
+
+// FactoryFor is TargetFactory at an explicit defense level, letting sweeps
+// reuse one trained scenario across hardening strategies without
+// retraining.
+func (s *Scenario) FactoryFor(level DefenseLevel) pipeline.TargetFactory {
+	cfg := s.Config
+	net := s.Net
+	return func(seed int64) (core.Target, error) {
+		var noise *march.NoiseModel
+		if !cfg.DisableNoise {
+			noise = march.DefaultNoise(seed)
+		}
+		engine, err := march.NewEngine(march.Config{
+			Hierarchy: instrument.SimHierarchy(),
+			Noise:     noise,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt := instrument.DefaultRuntime()
+		if cfg.DisableRuntime {
+			rt = instrument.NoRuntime()
+		}
+		return defense.New(net, engine, defense.Config{
+			Level:   level,
+			Seed:    seed + 1,
+			Runtime: rt,
+		})
+	}
 }
 
 // Cached default scenarios: building one means generating data and

@@ -143,7 +143,8 @@ func TestFigure2bSmall(t *testing.T) {
 
 func TestFigure1ReturnsMeans(t *testing.T) {
 	s := smallScenario(t)
-	means, rep, err := Figure1(s, EvalConfig{Classes: []int{1, 2}, RunsPerClass: 8})
+	// Workers: 2 routes the figure's campaign through the sharded pipeline.
+	means, rep, err := Figure1(s, EvalConfig{Classes: []int{1, 2}, RunsPerClass: 8, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,347 @@
+package repro
+
+// Sweep evaluates a grid of leakage-assessment campaigns — trace budgets ×
+// event sets × defenses (× datasets) — the workload practical assessment
+// needs: how many traces does the Evaluator need before an alarm fires,
+// which events leak, and which hardening level silences them. One scenario
+// is trained per dataset and shared across the grid; each cell runs on the
+// concurrent sharded pipeline with seeds derived from (root seed, cell
+// index), so the grid is reproducible cell-for-cell regardless of how many
+// cells or workers run in parallel.
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hpc"
+	"repro/internal/march"
+	"repro/internal/pipeline"
+)
+
+// SweepConfig describes the grid. Zero-value fields default to the paper's
+// headline campaign (MNIST, all defenses, base events, 100/200/300 traces).
+type SweepConfig struct {
+	Datasets     []Dataset
+	Defenses     []DefenseLevel
+	TraceBudgets []int
+	// EventSets are hpc.ParseEventSpec inputs (named sets or comma lists).
+	// Sets larger than the HPC register count are split into
+	// register-sized campaign groups, exactly as a real perf user must.
+	EventSets []string
+	Classes   []int
+	Alpha     float64
+	// Workers is the per-cell pipeline worker count; 0 → GOMAXPROCS.
+	Workers int
+	// CellParallel bounds how many grid cells evaluate concurrently;
+	// 0 → 2. Cell results are independent of this.
+	CellParallel int
+	// Seed is the sweep root seed; every cell derives its own root from
+	// (Seed, cell index). 0 → 1.
+	Seed int64
+	// Scenario is the template for per-dataset scenario construction
+	// (Dataset and Defense are overridden per grid point).
+	Scenario ScenarioConfig
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Datasets) == 0 {
+		c.Datasets = []Dataset{DatasetMNIST}
+	}
+	if len(c.Defenses) == 0 {
+		c.Defenses = []DefenseLevel{DefenseBaseline, DefenseDense, DefenseConstantTime, DefenseNoiseInjection}
+	}
+	if len(c.TraceBudgets) == 0 {
+		c.TraceBudgets = []int{100, 200, 300}
+	}
+	if len(c.EventSets) == 0 {
+		c.EventSets = []string{"base"}
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = PaperClasses()
+	}
+	if c.CellParallel <= 0 {
+		c.CellParallel = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// SweepResult is one evaluated grid cell.
+type SweepResult struct {
+	Dataset  string  `json:"dataset"`
+	Defense  string  `json:"defense"`
+	Runs     int     `json:"runs"`
+	EventSet string  `json:"events"`
+	Events   int     `json:"event_count"`
+	Tests    int     `json:"tests"`
+	Alarms   int     `json:"alarms"`
+	Leaky    bool    `json:"leaky"`
+	MinP     float64 `json:"min_p"`
+	MaxAbsT  float64 `json:"max_abs_t"`
+	WallMS   int64   `json:"wall_ms"`
+}
+
+// SweepGrid is the full sweep output.
+type SweepGrid struct {
+	Results []SweepResult `json:"results"`
+}
+
+// Sweep trains one scenario per dataset, then evaluates every grid cell on
+// the concurrent pipeline, up to cfg.CellParallel cells at a time.
+func Sweep(ctx context.Context, cfg SweepConfig) (*SweepGrid, error) {
+	return SweepProgress(ctx, cfg, nil)
+}
+
+// SweepProgress is Sweep with a per-cell completion callback (may be nil);
+// progress calls are serialized.
+func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResult)) (*SweepGrid, error) {
+	cfg = cfg.withDefaults()
+
+	// Parse every event set up front so a bad spec fails before training.
+	eventSets := make([][]march.Event, len(cfg.EventSets))
+	for i, spec := range cfg.EventSets {
+		evs, err := hpc.ParseEventSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		eventSets[i] = evs
+	}
+
+	scenarios := map[Dataset]*Scenario{}
+	for _, d := range cfg.Datasets {
+		sc := cfg.Scenario
+		sc.Dataset = d
+		sc.Defense = DefenseBaseline
+		if sc.Seed == 0 {
+			sc.Seed = cfg.Seed
+		}
+		s, err := NewScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %s: %w", d, err)
+		}
+		scenarios[d] = s
+	}
+
+	type cell struct {
+		index   int
+		dataset Dataset
+		defense DefenseLevel
+		runs    int
+		spec    string
+		events  []march.Event
+	}
+	var cells []cell
+	for _, d := range cfg.Datasets {
+		for _, def := range cfg.Defenses {
+			for _, runs := range cfg.TraceBudgets {
+				for i, spec := range cfg.EventSets {
+					cells = append(cells, cell{
+						index: len(cells), dataset: d, defense: def,
+						runs: runs, spec: spec, events: eventSets[i],
+					})
+				}
+			}
+		}
+	}
+
+	grid := &SweepGrid{Results: make([]SweepResult, len(cells))}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg         sync.WaitGroup
+		errOnce    sync.Once
+		firstErr   error
+		progressMu sync.Mutex
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	sem := make(chan struct{}, cfg.CellParallel)
+	for _, cl := range cells {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			fail(ctx.Err())
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(cl cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			rep, err := scenarios[cl.dataset].EvaluateGrouped(ctx, cl.defense, EvalConfig{
+				Classes:      cfg.Classes,
+				Events:       cl.events,
+				RunsPerClass: cl.runs,
+				Alpha:        cfg.Alpha,
+				Workers:      cfg.Workers,
+				Seed:         core.DeriveSeed(cfg.Seed, cl.index, 0),
+			})
+			if err != nil {
+				fail(fmt.Errorf("sweep: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
+				return
+			}
+			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, time.Since(start))
+			grid.Results[cl.index] = res
+			if progress != nil {
+				progressMu.Lock()
+				progress(res)
+				progressMu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The deferred cancel has not run yet, so a non-nil error here means
+	// the caller's context was cancelled before the grid completed.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return grid, nil
+}
+
+// EvaluateGrouped runs a pipeline campaign over an arbitrarily wide event
+// list at an explicit defense level. Event sets wider than the HPC
+// register file cannot be counted in a single campaign, so they are split
+// into register-sized groups, each evaluated as its own pipeline campaign
+// (with a group-derived root seed), and the partial reports are merged —
+// exactly the multi-session discipline a real perf user must follow.
+// cfg.Workers == 0 uses GOMAXPROCS; the grouped path always runs on the
+// pipeline.
+func (s *Scenario) EvaluateGrouped(ctx context.Context, level DefenseLevel, cfg EvalConfig) (*core.Report, error) {
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = PaperClasses()
+	}
+	if cfg.RunsPerClass <= 0 {
+		cfg.RunsPerClass = 300
+	}
+	events := cfg.Events
+	if len(events) == 0 {
+		events = []Event{EvCacheMisses, EvBranches}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = s.Config.Seed
+	}
+	factory := s.FactoryFor(level)
+	pools, err := s.ClassPools(cfg.Classes...)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/%s", s.Config.Dataset, level)
+
+	var merged *core.Report
+	for g := 0; g*hpc.DefaultCounters < len(events); g++ {
+		lo := g * hpc.DefaultCounters
+		hi := lo + hpc.DefaultCounters
+		if hi > len(events) {
+			hi = len(events)
+		}
+		ev, err := core.NewEvaluator(core.Config{
+			Events:       events[lo:hi],
+			Alpha:        cfg.Alpha,
+			RunsPerClass: cfg.RunsPerClass,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p, err := pipeline.New(ev, pipeline.Config{
+			Workers:   cfg.Workers,
+			RootSeed:  core.DeriveSeed(seed, g, 1),
+			ShardRuns: cfg.ShardRuns,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := p.Evaluate(ctx, name, factory, pools)
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = rep
+			continue
+		}
+		merged.Dists.Events = append(merged.Dists.Events, rep.Dists.Events...)
+		for e, byClass := range rep.Dists.Samples {
+			merged.Dists.Samples[e] = byClass
+		}
+		merged.Tests = append(merged.Tests, rep.Tests...)
+		merged.Alarms = append(merged.Alarms, rep.Alarms...)
+	}
+	merged.Config.Events = append([]march.Event(nil), events...)
+	return merged, nil
+}
+
+func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int, rep *core.Report, wall time.Duration) SweepResult {
+	res := SweepResult{
+		Dataset:  string(d),
+		Defense:  level.String(),
+		Runs:     runs,
+		EventSet: spec,
+		Events:   nEvents,
+		Tests:    len(rep.Tests),
+		Alarms:   len(rep.Alarms),
+		Leaky:    rep.Leaky(),
+		MinP:     1,
+		WallMS:   wall.Milliseconds(),
+	}
+	for _, t := range rep.Tests {
+		if t.Result.P < res.MinP {
+			res.MinP = t.Result.P
+		}
+		at := t.Result.T
+		if at < 0 {
+			at = -at
+		}
+		if at > res.MaxAbsT {
+			res.MaxAbsT = at
+		}
+	}
+	return res
+}
+
+// WriteCSV emits the grid as a CSV table.
+func (g *SweepGrid) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "defense", "runs", "events", "event_count", "tests", "alarms", "leaky", "min_p", "max_abs_t", "wall_ms"}); err != nil {
+		return err
+	}
+	for _, r := range g.Results {
+		rec := []string{
+			r.Dataset, r.Defense, strconv.Itoa(r.Runs), r.EventSet,
+			strconv.Itoa(r.Events), strconv.Itoa(r.Tests), strconv.Itoa(r.Alarms),
+			strconv.FormatBool(r.Leaky),
+			strconv.FormatFloat(r.MinP, 'g', 6, 64),
+			strconv.FormatFloat(r.MaxAbsT, 'g', 6, 64),
+			strconv.FormatInt(r.WallMS, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the grid as indented JSON.
+func (g *SweepGrid) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}

@@ -1,0 +1,169 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// smallSweepConfig keeps the grid cheap: a weakly-trained scenario, two
+// defenses, two budgets, one event set.
+func smallSweepConfig() SweepConfig {
+	return SweepConfig{
+		Datasets:     []Dataset{DatasetMNIST},
+		Defenses:     []DefenseLevel{DefenseBaseline, DefenseConstantTime},
+		TraceBudgets: []int{8, 12},
+		EventSets:    []string{"base"},
+		Classes:      []int{1, 2},
+		Workers:      2,
+		CellParallel: 2,
+		Seed:         3,
+		Scenario: ScenarioConfig{
+			PerClassTrain: 20,
+			PerClassTest:  10,
+			Epochs:        1,
+			Seed:          5,
+		},
+	}
+}
+
+func TestSweepGridShape(t *testing.T) {
+	var seen []SweepResult
+	grid, err := SweepProgress(context.Background(), smallSweepConfig(), func(r SweepResult) {
+		seen = append(seen, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Results) != 4 { // 2 defenses × 2 budgets
+		t.Fatalf("grid has %d cells, want 4", len(grid.Results))
+	}
+	if len(seen) != 4 {
+		t.Fatalf("progress reported %d cells, want 4", len(seen))
+	}
+	for i, r := range grid.Results {
+		if r.Dataset != "mnist" || r.Tests != 2 { // 1 pair × 2 events
+			t.Fatalf("cell %d malformed: %+v", i, r)
+		}
+		if r.MinP < 0 || r.MinP > 1 {
+			t.Fatalf("cell %d: min_p %v outside [0,1]", i, r.MinP)
+		}
+		if r.Leaky != (r.Alarms > 0) {
+			t.Fatalf("cell %d: leaky=%v with %d alarms", i, r.Leaky, r.Alarms)
+		}
+	}
+	// Grid order is deterministic: defense-major, then budget.
+	if grid.Results[0].Defense != "baseline" || grid.Results[0].Runs != 8 ||
+		grid.Results[3].Defense != "constant-time" || grid.Results[3].Runs != 12 {
+		t.Fatalf("grid order wrong: %+v", grid.Results)
+	}
+
+	var csv strings.Builder
+	if err := grid.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[0], "dataset,defense,runs,events") {
+		t.Fatalf("CSV malformed:\n%s", csv.String())
+	}
+
+	var js strings.Builder
+	if err := grid.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SweepGrid
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(decoded.Results) != 4 {
+		t.Fatalf("JSON decoded %d cells, want 4", len(decoded.Results))
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism: cell results must not depend on
+// how many cells or workers run concurrently.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	a := smallSweepConfig()
+	b := smallSweepConfig()
+	b.CellParallel = 1
+	b.Workers = 1
+	ga, err := Sweep(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := Sweep(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ga.Results {
+		ra, rb := ga.Results[i], gb.Results[i]
+		ra.WallMS, rb.WallMS = 0, 0
+		if ra != rb {
+			t.Fatalf("cell %d differs across parallelism:\n  %+v\n  %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, smallSweepConfig()); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+}
+
+func TestSweepBadEventSet(t *testing.T) {
+	cfg := smallSweepConfig()
+	cfg.EventSets = []string{"no-such-event"}
+	if _, err := Sweep(context.Background(), cfg); err == nil {
+		t.Fatal("bad event spec accepted")
+	}
+}
+
+func TestParseDefense(t *testing.T) {
+	for _, l := range []DefenseLevel{DefenseBaseline, DefenseDense, DefenseConstantTime, DefenseNoiseInjection} {
+		got, err := ParseDefense(l.String())
+		if err != nil || got != l {
+			t.Fatalf("ParseDefense(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseDefense("bogus"); err == nil {
+		t.Fatal("unknown defense accepted")
+	}
+}
+
+// TestEvaluateGroupedWideEventSet: an event set wider than the register
+// file must split into register-sized campaign groups and still cover
+// every event with the full pair-test matrix.
+func TestEvaluateGroupedWideEventSet(t *testing.T) {
+	s, err := NewScenario(ScenarioConfig{
+		Dataset:       DatasetMNIST,
+		PerClassTrain: 20,
+		PerClassTest:  10,
+		Epochs:        1,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := AllPaperEvents()
+	rep, err := s.EvaluateGrouped(context.Background(), DefenseBaseline, EvalConfig{
+		Classes:      []int{1, 2},
+		Events:       events,
+		RunsPerClass: 6,
+		Workers:      2,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tests) != len(events) { // 1 pair × 8 events
+		t.Fatalf("tests = %d, want %d", len(rep.Tests), len(events))
+	}
+	for _, e := range events {
+		if got := len(rep.Dists.Get(e, 1)); got != 6 {
+			t.Fatalf("event %s has %d samples, want 6", e, got)
+		}
+	}
+}
