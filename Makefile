@@ -1,6 +1,8 @@
 # Developer/CI entry points. `make ci` is the gate: vet, build, the full
 # test suite under the race detector, and a one-iteration benchmark smoke
-# pass (which also regenerates the paper's tables and figures once).
+# pass (which also regenerates the paper's tables and figures once and
+# exercises the attack stage at both worker counts via
+# BenchmarkAttackStage).
 
 GO ?= go
 
@@ -23,9 +25,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
-# Regenerate the golden end-to-end report after a *deliberate* behavior
-# change (review the diff before committing it).
+# Regenerate the golden end-to-end evaluation and attack reports after a
+# *deliberate* behavior change (review the diff before committing it).
 golden:
-	$(GO) test -run TestGoldenReport -update .
+	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport' -update .
 
 ci: vet build race bench

@@ -1,0 +1,172 @@
+package repro
+
+// The attack stage: the exploitation counterpart of Evaluate. Where the
+// Evaluator reports that HPC distributions are *distinguishable*, the
+// attack stage quantifies that they are *exploitable* — a profiling
+// adversary (Gaussian template and kNN, following the paper's threat model
+// and Wei et al.'s input-recovery direction) is trained on a deterministic
+// profiling split and scored on held-out attack runs, all executed on the
+// same concurrent sharded pipeline as the evaluation campaigns. Every
+// observation derives from the root seed via core.DeriveSeed, so the
+// confusion matrices are bit-for-bit identical at any worker count.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/hpc"
+	"repro/internal/pipeline"
+)
+
+// AttackResult is the attack stage's output: confusion matrices and
+// accuracies of both attackers over the held-out observations.
+type AttackResult = attack.Result
+
+// ConfusionMatrix tallies attack outcomes, Matrix[true][predicted].
+type ConfusionMatrix = attack.ConfusionMatrix
+
+// AttackConfig controls an end-to-end attack campaign. The zero value
+// profiles 100 classifications per category and attacks 60 held-out ones
+// with the paper's base events on all four paper categories.
+type AttackConfig struct {
+	Classes []int
+	Events  []Event
+	// ProfileRuns is the adversary's profiling budget per class; default
+	// 100.
+	ProfileRuns int
+	// AttackRuns is the number of held-out observations per class the
+	// attackers are scored on; default 60.
+	AttackRuns int
+	// K is the kNN neighbourhood size; default 5 (clamped to the profiling
+	// set).
+	K int
+	// Workers is the pipeline worker count; 0 → GOMAXPROCS. The attack
+	// stage always runs on the concurrent sharded pipeline.
+	Workers int
+	// Seed is the campaign root seed; 0 uses the scenario seed. Attack
+	// observations are derived in a separate seed domain from evaluation
+	// campaigns, so the adversary never replays the Evaluator's traces.
+	Seed int64
+	// ShardRuns bounds measured runs per shard; 0 uses the pipeline
+	// default.
+	ShardRuns int
+}
+
+func (c AttackConfig) withDefaults() AttackConfig {
+	if len(c.Classes) == 0 {
+		c.Classes = PaperClasses()
+	}
+	if len(c.Events) == 0 {
+		c.Events = []Event{EvCacheMisses, EvBranches}
+	}
+	if c.ProfileRuns <= 0 {
+		c.ProfileRuns = 100
+	}
+	if c.AttackRuns <= 0 {
+		c.AttackRuns = 60
+	}
+	if c.K <= 0 {
+		c.K = 5
+	}
+	return c
+}
+
+// Attack runs the attack stage against the scenario at its configured
+// defense level.
+func (s *Scenario) Attack(ctx context.Context, cfg AttackConfig) (*AttackResult, error) {
+	return s.AttackGrouped(ctx, s.Config.Defense, cfg)
+}
+
+// AttackGrouped runs the attack stage at an explicit defense level over an
+// arbitrarily wide event list. Event sets wider than the HPC register file
+// cannot be counted in one session, so they are split into register-sized
+// groups, each collected as its own pipeline campaign (with a
+// group-derived root seed), and the per-run profiles are joined per
+// (class, run) — the multi-session feature collection a real perf-bound
+// adversary must perform. The profiling/attack split is positional over
+// the deterministic merge, so results are identical at any worker count.
+func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg AttackConfig) (*AttackResult, error) {
+	cfg = cfg.withDefaults()
+	// Fail bad budgets before any collection: profiling and attack runs
+	// are per-class, and templates need at least two profiling samples.
+	if cfg.ProfileRuns < 2 {
+		return nil, fmt.Errorf("repro: attack needs at least 2 profiling runs per class, got %d", cfg.ProfileRuns)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = s.Config.Seed
+	}
+	total := cfg.ProfileRuns + cfg.AttackRuns
+	factory := s.FactoryFor(level)
+	pools, err := s.ClassPools(cfg.Classes...)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/%s", s.Config.Dataset, level)
+
+	// Domain 2 separates attack observations from evaluation campaigns
+	// (EvaluateGrouped derives with domain 1).
+	groupPipeline := func(g int) (*pipeline.Pipeline, error) {
+		lo := g * hpc.DefaultCounters
+		hi := lo + hpc.DefaultCounters
+		if hi > len(cfg.Events) {
+			hi = len(cfg.Events)
+		}
+		ev, err := core.NewEvaluator(core.Config{
+			Events:       cfg.Events[lo:hi],
+			RunsPerClass: total,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return pipeline.New(ev, pipeline.Config{
+			Workers:   cfg.Workers,
+			RootSeed:  core.DeriveSeed(seed, g, 2),
+			ShardRuns: cfg.ShardRuns,
+		})
+	}
+
+	// The common case — the event set fits the register file — is one
+	// campaign on the pipeline's canonical attack path.
+	if len(cfg.Events) <= hpc.DefaultCounters {
+		p, err := groupPipeline(0)
+		if err != nil {
+			return nil, err
+		}
+		return p.Attack(ctx, name, factory, pools, cfg.ProfileRuns, cfg.K)
+	}
+
+	// Wide event sets: one collection campaign per register-sized group;
+	// profiles of the same (class, run) are joined across groups into one
+	// feature vector.
+	byClass := map[int][]hpc.Profile{}
+	for g := 0; g*hpc.DefaultCounters < len(cfg.Events); g++ {
+		p, err := groupPipeline(g)
+		if err != nil {
+			return nil, err
+		}
+		part, err := p.CollectProfiles(ctx, factory, pools)
+		if err != nil {
+			return nil, err
+		}
+		for cls, profs := range part {
+			if byClass[cls] == nil {
+				byClass[cls] = profs
+				continue
+			}
+			for r, prof := range profs {
+				for e, v := range prof {
+					byClass[cls][r][e] = v
+				}
+			}
+		}
+	}
+
+	profSet, atkSet, err := attack.Split(byClass, cfg.ProfileRuns)
+	if err != nil {
+		return nil, err
+	}
+	return attack.Evaluate(name, cfg.Events, profSet, atkSet, cfg.K)
+}

@@ -1,0 +1,205 @@
+package repro
+
+// Attack-stage regression tests: the worker-invariance guarantee at the
+// public API, the multi-session register-group path, and a golden attack
+// report pinning the confusion matrices of a fixed campaign. Regenerate
+// the golden file deliberately with:
+//
+//	go test -run TestAttackGoldenReport -update .
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+const goldenAttackPath = "testdata/golden_attack.json"
+
+// attackScenario is the shared small scenario of the attack tests —
+// building one means training a CNN, so it is built once.
+var (
+	attackScenarioOnce sync.Once
+	attackScenarioVal  *Scenario
+	attackScenarioErr  error
+)
+
+func attackScenario(t *testing.T) *Scenario {
+	t.Helper()
+	attackScenarioOnce.Do(func() {
+		attackScenarioVal, attackScenarioErr = NewScenario(ScenarioConfig{
+			Dataset:       DatasetMNIST,
+			PerClassTrain: 20,
+			PerClassTest:  10,
+			Epochs:        1,
+			Seed:          5,
+		})
+	})
+	if attackScenarioErr != nil {
+		t.Fatal(attackScenarioErr)
+	}
+	return attackScenarioVal
+}
+
+// goldenAttack is the serialized form of an attack result; matrices are
+// integer counts, so they are compared exactly.
+type goldenAttack struct {
+	Name        string              `json:"name"`
+	Events      []string            `json:"events"`
+	Classes     []int               `json:"classes"`
+	ProfileRuns int                 `json:"profile_runs"`
+	AttackRuns  int                 `json:"attack_runs"`
+	K           int                 `json:"k"`
+	TemplateAcc float64             `json:"template_acc"`
+	KNNAcc      float64             `json:"knn_acc"`
+	Template    map[int]map[int]int `json:"template_matrix"`
+	KNN         map[int]map[int]int `json:"knn_matrix"`
+}
+
+func toGoldenAttack(res *AttackResult) goldenAttack {
+	g := goldenAttack{
+		Name:        res.Name,
+		Classes:     res.Classes,
+		ProfileRuns: res.ProfileRuns,
+		AttackRuns:  res.AttackRuns,
+		K:           res.K,
+		TemplateAcc: res.Template.Accuracy(),
+		KNNAcc:      res.KNN.Accuracy(),
+		Template:    res.Template.Matrix,
+		KNN:         res.KNN.Matrix,
+	}
+	for _, e := range res.Events {
+		g.Events = append(g.Events, e.String())
+	}
+	return g
+}
+
+func goldenAttackCampaign(t *testing.T, workers int) *AttackResult {
+	t.Helper()
+	res, err := attackScenario(t).Attack(context.Background(), AttackConfig{
+		Classes:     []int{1, 2, 3},
+		ProfileRuns: 40,
+		AttackRuns:  20,
+		Workers:     workers,
+		Seed:        17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAttackGoldenReport(t *testing.T) {
+	got := toGoldenAttack(goldenAttackCampaign(t, 2))
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenAttackPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenAttackPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden attack report rewritten: %s", goldenAttackPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenAttackPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestAttackGoldenReport -update .` to create it): %v", err)
+	}
+	var want goldenAttack
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Errorf("attack result drifted from golden file:\ngot:\n%s\nwant:\n%s", gotJSON, data)
+	}
+}
+
+// TestAttackWorkerInvariance is the acceptance criterion at the public
+// API: workers=1 and workers=8 must yield identical confusion matrices
+// and accuracies for the same root seed.
+func TestAttackWorkerInvariance(t *testing.T) {
+	a := goldenAttackCampaign(t, 1)
+	b := goldenAttackCampaign(t, 8)
+	if !reflect.DeepEqual(toGoldenAttack(a), toGoldenAttack(b)) {
+		t.Fatalf("workers=1 and workers=8 disagree:\n%+v\n%+v", toGoldenAttack(a), toGoldenAttack(b))
+	}
+	if !reflect.DeepEqual(a.Templates, b.Templates) {
+		t.Fatal("fitted templates differ across worker counts")
+	}
+}
+
+// TestAttackGroupedWideEventSet: an event set wider than the register file
+// must be collected in register-sized groups whose per-run profiles join
+// into one feature vector per observation.
+func TestAttackGroupedWideEventSet(t *testing.T) {
+	events := AllPaperEvents()
+	run := func(workers int) *AttackResult {
+		res, err := attackScenario(t).AttackGrouped(context.Background(), DefenseBaseline, AttackConfig{
+			Classes:     []int{1, 2},
+			Events:      events,
+			ProfileRuns: 10,
+			AttackRuns:  5,
+			Workers:     workers,
+			Seed:        3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(2)
+	if len(res.Events) != len(events) {
+		t.Fatalf("result covers %d events, want %d", len(res.Events), len(events))
+	}
+	// Every template must carry a mean for every event of every group.
+	for _, tpl := range res.Templates {
+		for _, e := range events {
+			if _, ok := tpl.Mean[e]; !ok {
+				t.Fatalf("template for class %d is missing event %s", tpl.Class, e)
+			}
+		}
+	}
+	if res.Template.Total != 10 || res.KNN.Total != 10 { // 2 classes × 5 runs
+		t.Fatalf("matrix totals = %d/%d, want 10", res.Template.Total, res.KNN.Total)
+	}
+	// The grouped path must also be worker-invariant.
+	if !reflect.DeepEqual(toGoldenAttack(res), toGoldenAttack(run(1))) {
+		t.Fatal("grouped attack differs across worker counts")
+	}
+}
+
+// TestAttackDefenseReducesRecovery: hardening must not *increase*
+// exploitability — the noise-injection defense should push recovery
+// accuracy toward chance relative to baseline.
+func TestAttackDefenseReducesRecovery(t *testing.T) {
+	s := attackScenario(t)
+	run := func(level DefenseLevel) *AttackResult {
+		res, err := s.AttackGrouped(context.Background(), level, AttackConfig{
+			Classes:     []int{1, 2},
+			ProfileRuns: 30,
+			AttackRuns:  15,
+			Workers:     2,
+			Seed:        23,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(DefenseBaseline)
+	hard := run(DefenseConstantTime)
+	if base.Template.Accuracy() < hard.Template.Accuracy()-0.2 {
+		t.Fatalf("constant-time defense increased template recovery: baseline %.2f vs hardened %.2f",
+			base.Template.Accuracy(), hard.Template.Accuracy())
+	}
+}

@@ -9,9 +9,11 @@ package repro
 // per-operation micro benches quantify the simulation costs.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -461,6 +463,35 @@ func BenchmarkAttackInputRecovery(b *testing.B) {
 			b.StartTimer()
 		}
 		b.ReportMetric(cm.Accuracy(), "accuracy")
+	}
+}
+
+// BenchmarkAttackStage runs the pipeline-backed attack stage — sharded
+// profile collection, deterministic split, both attackers fitted and
+// scored — the workload `make ci` smoke-tests alongside the evaluation
+// campaigns. Sequential and pooled runs report the same accuracy for the
+// same seed; only wall-clock differs.
+func BenchmarkAttackStage(b *testing.B) {
+	s, err := DefaultScenario(DatasetMNIST)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := s.Attack(context.Background(), AttackConfig{
+					ProfileRuns: 40,
+					AttackRuns:  20,
+					Workers:     workers,
+					Seed:        17,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Template.Accuracy(), "template_acc")
+				b.ReportMetric(res.KNN.Accuracy(), "knn_acc")
+			}
+		})
 	}
 }
 

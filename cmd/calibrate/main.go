@@ -3,6 +3,14 @@
 // the qualitative targets (cache-misses separate every category pair,
 // branches separate at most a few). Use it after changing the cache
 // geometry, the noise model, or the runtime overhead constants.
+//
+// Usage:
+//
+//	calibrate [-runs 300] [-workers N] [-seed 1]
+//
+// Campaigns run on the concurrent sharded pipeline by default (-workers -1
+// = GOMAXPROCS, 0 = the legacy sequential path, matching cmd/evaluate);
+// the shape verdict is identical at any worker count for a fixed -seed.
 package main
 
 import (
@@ -10,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro"
 )
@@ -17,8 +26,16 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibrate: ")
-	runs := flag.Int("runs", 300, "classifications per category")
+	var (
+		runs    = flag.Int("runs", 300, "classifications per category")
+		workers = flag.Int("workers", -1, "pipeline workers; -1 = GOMAXPROCS, 0 = legacy sequential path")
+		seed    = flag.Int64("seed", 0, "pipeline root seed; 0 = scenario seed")
+	)
 	flag.Parse()
+	nw := *workers
+	if nw < 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
 
 	allOK := true
 	for _, d := range []repro.Dataset{repro.DatasetMNIST, repro.DatasetCIFAR} {
@@ -27,7 +44,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("== %s (test accuracy %.3f) ==\n", d, s.TestAccuracy)
-		rep, err := s.Evaluate(repro.EvalConfig{RunsPerClass: *runs})
+		rep, err := s.Evaluate(repro.EvalConfig{RunsPerClass: *runs, Workers: nw, Seed: *seed})
 		if err != nil {
 			log.Fatal(err)
 		}

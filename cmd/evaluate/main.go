@@ -21,8 +21,6 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 
 	"repro"
 	"repro/internal/hpc"
@@ -48,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cls, err := parseClasses(*classes)
+	cls, err := repro.ParseClasses(*classes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,16 +124,4 @@ func main() {
 		}
 		fmt.Printf("raw distributions written to %s\n", *csvPath)
 	}
-}
-
-func parseClasses(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad class list %q: %w", s, err)
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }

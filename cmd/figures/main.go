@@ -7,9 +7,15 @@
 //	figures -fig 1a             # Figure 1(a): avg cache-misses per category, MNIST
 //	figures -fig 2b             # Figure 2(b): perf-stat dump of 8 events
 //	figures -fig 3a -runs 200   # Figure 3(a): cache-miss distributions, MNIST
+//	figures -fig 3a -defense constant-time   # the same panel, hardened
 //
 // Figure index: 1a, 1b (bar charts), 2b (perf stat), 3a, 3b (MNIST
 // distributions), 4a, 4b (CIFAR distributions).
+//
+// Collection campaigns run on the concurrent sharded pipeline by default
+// (-workers -1 = GOMAXPROCS, 0 = the legacy sequential path, matching
+// cmd/evaluate); for a fixed -seed every figure is reproducible at any
+// worker count.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro"
 )
@@ -25,12 +32,43 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig  = flag.String("fig", "all", "figure id: 1a,1b,2b,3a,3b,4a,4b,all")
-		runs = flag.Int("runs", 300, "classifications per category")
+		fig     = flag.String("fig", "all", "figure id: 1a,1b,2b,3a,3b,4a,4b,all")
+		runs    = flag.Int("runs", 300, "classifications per category")
+		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		workers = flag.Int("workers", -1, "pipeline workers; -1 = GOMAXPROCS, 0 = legacy sequential path")
+		seed    = flag.Int64("seed", 0, "pipeline root seed; 0 = scenario seed")
 	)
 	flag.Parse()
 
+	level, err := repro.ParseDefense(*defName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw := *workers
+	if nw < 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+
 	want := func(id string) bool { return *fig == "all" || *fig == id }
+
+	// One scenario per dataset (at the requested defense level), shared
+	// between every figure of that dataset — including the 2b perf-stat
+	// panel, so -defense hardens all panels consistently.
+	scenarios := map[repro.Dataset]*repro.Scenario{}
+	scenario := func(d repro.Dataset) *repro.Scenario {
+		if s, ok := scenarios[d]; ok {
+			return s
+		}
+		s, err := repro.NewScenario(repro.ScenarioConfig{Dataset: d, Defense: level})
+		check(err)
+		scenarios[d] = s
+		return s
+	}
+	mustReport := func(d repro.Dataset) *repro.Report {
+		rep, err := scenario(d).Evaluate(repro.EvalConfig{RunsPerClass: *runs, Workers: nw, Seed: *seed})
+		check(err)
+		return rep
+	}
 
 	// Reports are shared between figures of the same dataset.
 	var mnistRep, cifarRep *repro.Report
@@ -38,10 +76,10 @@ func main() {
 	needCIFAR := want("1b") || want("4a") || want("4b")
 
 	if needMNIST {
-		mnistRep = mustReport(repro.DatasetMNIST, *runs)
+		mnistRep = mustReport(repro.DatasetMNIST)
 	}
 	if needCIFAR {
-		cifarRep = mustReport(repro.DatasetCIFAR, *runs)
+		cifarRep = mustReport(repro.DatasetCIFAR)
 	}
 
 	if want("1a") {
@@ -53,9 +91,7 @@ func main() {
 		fmt.Println()
 	}
 	if want("2b") {
-		s, err := repro.DefaultScenario(repro.DatasetMNIST)
-		check(err)
-		_, out, err := repro.Figure2b(s)
+		_, out, err := repro.Figure2b(scenario(repro.DatasetMNIST))
 		check(err)
 		fmt.Println("Figure 2(b): hardware events during one classification (perf stat layout)")
 		fmt.Print(out)
@@ -77,14 +113,6 @@ func main() {
 		check(repro.FigureDistributions(os.Stdout, "Figure 4(b): CIFAR-10", cifarRep, repro.EvBranches))
 		fmt.Println()
 	}
-}
-
-func mustReport(d repro.Dataset, runs int) *repro.Report {
-	s, err := repro.DefaultScenario(d)
-	check(err)
-	rep, err := s.Evaluate(repro.EvalConfig{RunsPerClass: runs})
-	check(err)
-	return rep
 }
 
 func check(err error) {

@@ -9,7 +9,13 @@
 //
 // Usage:
 //
-//	perfstat [-dataset mnist] [-e branches,cache-misses,...] [-runs 1]
+//	perfstat [-dataset mnist] [-defense baseline] [-seed 1]
+//	         [-e branches,cache-misses,...] [-runs 1]
+//
+// -defense (repro.ParseDefense names) and -seed select the deployed
+// classifier exactly as the evaluation and attack pipelines would build
+// it; there is no -workers flag because perfstat attaches to the single
+// deployed process, like real `perf stat -p`.
 package main
 
 import (
@@ -27,13 +33,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("perfstat: ")
 	var (
-		dsName = flag.String("dataset", "mnist", "dataset: mnist or cifar")
-		evList = flag.String("e", strings.Join(eventNames(), ","), "comma-separated event list")
-		runs   = flag.Int("runs", 1, "classifications to observe (averaged)")
+		dsName  = flag.String("dataset", "mnist", "dataset: mnist or cifar")
+		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		seed    = flag.Int64("seed", 0, "scenario seed; 0 = default")
+		evList  = flag.String("e", strings.Join(eventNames(), ","), "comma-separated event list")
+		runs    = flag.Int("runs", 1, "classifications to observe (averaged)")
 	)
 	flag.Parse()
 
-	s, err := repro.DefaultScenario(repro.Dataset(*dsName))
+	level, err := repro.ParseDefense(*defName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := repro.NewScenario(repro.ScenarioConfig{
+		Dataset: repro.Dataset(*dsName),
+		Defense: level,
+		Seed:    *seed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

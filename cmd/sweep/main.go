@@ -9,7 +9,8 @@
 //
 //	sweep [-datasets mnist] [-defenses baseline,constant-time] [-runs 50,100,200]
 //	      [-events "base;fig2b"] [-classes 1,2,3,4] [-alpha 0.05]
-//	      [-workers N] [-cell-parallel 2] [-seed 1] [-format csv|json] [-o grid.csv]
+//	      [-workers N] [-cell-parallel 2] [-seed 1] [-attack] [-attack-runs N]
+//	      [-format csv|json] [-o grid.csv]
 //
 // Event sets are separated by semicolons; each set is a named set (base,
 // fig2b, extended) or a comma-separated perf-style event list. Sets wider
@@ -44,6 +45,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "pipeline workers per cell; 0 = GOMAXPROCS")
 		cellParallel = flag.Int("cell-parallel", 2, "grid cells evaluated concurrently")
 		seed         = flag.Int64("seed", 1, "sweep root seed")
+		attackStage  = flag.Bool("attack", false, "run the end-to-end attack stage per cell (template_acc/knn_acc columns)")
+		attackRuns   = flag.Int("attack-runs", 0, "held-out attack observations per class (0 = half the cell's budget, min 10)")
 		format       = flag.String("format", "csv", "output format: csv or json")
 		out          = flag.String("o", "", "output file (default stdout)")
 		perTrain     = flag.Int("train", 0, "per-class training images (0 = paper default)")
@@ -55,14 +58,20 @@ func main() {
 		log.Fatalf("unknown format %q (want csv or json)", *format)
 	}
 
+	cls, err := repro.ParseClasses(*classes)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := repro.SweepConfig{
 		TraceBudgets: parseInts(*runs),
 		EventSets:    splitNonEmpty(*events, ";"),
-		Classes:      parseInts(*classes),
+		Classes:      cls,
 		Alpha:        *alpha,
 		Workers:      *workers,
 		CellParallel: *cellParallel,
 		Seed:         *seed,
+		Attack:       *attackStage,
+		AttackRuns:   *attackRuns,
 		Scenario: repro.ScenarioConfig{
 			PerClassTrain: *perTrain,
 			PerClassTest:  *perTest,
@@ -89,8 +98,12 @@ func main() {
 	done := 0
 	grid, err := repro.SweepProgress(ctx, cfg, func(r repro.SweepResult) {
 		done++
-		fmt.Fprintf(os.Stderr, "  [%d/%d] %s/%s runs=%d events=%s: %d alarms (%.0f ms)\n",
-			done, total, r.Dataset, r.Defense, r.Runs, r.EventSet, r.Alarms, float64(r.WallMS))
+		attackInfo := ""
+		if r.AttackRuns > 0 {
+			attackInfo = fmt.Sprintf(", template %.0f%% / knn %.0f%%", 100*r.TemplateAcc, 100*r.KNNAcc)
+		}
+		fmt.Fprintf(os.Stderr, "  [%d/%d] %s/%s runs=%d events=%s: %d alarms%s (%.0f ms)\n",
+			done, total, r.Dataset, r.Defense, r.Runs, r.EventSet, r.Alarms, attackInfo, float64(r.WallMS))
 	})
 	if err != nil {
 		log.Fatal(err)

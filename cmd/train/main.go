@@ -1,5 +1,8 @@
 // Command train fits one of the paper's two CNNs on its synthetic dataset
 // and writes the trained model to a gob file for reuse by the other tools.
+// It builds the scenario through the same repro.NewScenario path the
+// evaluation and attack pipelines deploy, so a saved model is exactly the
+// network those campaigns would train for the same -seed.
 //
 // Usage:
 //
@@ -10,9 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 
+	"repro"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 )
@@ -24,58 +27,29 @@ func main() {
 		dsName   = flag.String("dataset", "mnist", "dataset: mnist or cifar")
 		out      = flag.String("out", "", "output model file (gob); empty = train only")
 		epochs   = flag.Int("epochs", 2, "SGD epochs")
-		seed     = flag.Int64("seed", 1, "random seed")
+		seed     = flag.Int64("seed", 1, "random seed (drives dataset generation, weight init and SGD order)")
 		perClass = flag.Int("perclass", 120, "training images per class")
 		lr       = flag.Float64("lr", 0, "learning rate (0 = per-dataset default)")
 	)
 	flag.Parse()
 
-	var (
-		arch nn.Arch
-		gen  func(dataset.Config) (*dataset.Set, *dataset.Set, error)
-	)
-	switch *dsName {
-	case "mnist":
-		arch = nn.MNISTArch()
-		gen = dataset.MNISTLike
-		if *lr == 0 {
-			*lr = 0.05
-		}
-	case "cifar":
-		arch = nn.CIFARArch()
-		gen = dataset.CIFARLike
-		if *lr == 0 {
-			*lr = 0.01
-		}
-	default:
-		log.Fatalf("unknown dataset %q (want mnist or cifar)", *dsName)
-	}
-
-	train, test, err := gen(dataset.Config{PerClassTrain: *perClass, PerClassTest: *perClass / 2, Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(dataset.Describe(train))
-
-	net, err := nn.Build(arch, rand.New(rand.NewSource(*seed+1)))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s: %d parameters\n", arch.Name, net.ParamCount())
-	err = nn.Train(net, train.Inputs(), train.Labels(), nn.TrainConfig{
-		Epochs: *epochs, BatchSize: 16, LR: *lr, Momentum: 0.9, Seed: *seed + 2,
-		Progress: func(ep int, loss, acc float64) {
+	s, err := repro.NewScenario(repro.ScenarioConfig{
+		Dataset:       repro.Dataset(*dsName),
+		Seed:          *seed,
+		PerClassTrain: *perClass,
+		PerClassTest:  *perClass / 2,
+		Epochs:        *epochs,
+		LR:            *lr,
+		TrainProgress: func(ep int, loss, acc float64) {
 			fmt.Printf("epoch %d: loss %.4f train-acc %.3f\n", ep, loss, acc)
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	acc, err := nn.Accuracy(net, test.Inputs(), test.Labels())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("test accuracy: %.3f\n", acc)
+	fmt.Println(dataset.Describe(s.Train))
+	fmt.Printf("%s: %d parameters\n", s.Arch.Name, s.Net.ParamCount())
+	fmt.Printf("test accuracy: %.3f\n", s.TestAccuracy)
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -83,7 +57,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		if err := nn.SaveModel(f, arch, net); err != nil {
+		if err := nn.SaveModel(f, s.Arch, s.Net); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("model written to %s\n", *out)

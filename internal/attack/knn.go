@@ -45,12 +45,15 @@ func NewKNN(k int, events []march.Event, samples map[int][]hpc.Profile) (*KNN, e
 	sort.Ints(a.classes)
 
 	// Standardization statistics per event over the whole profiling set.
+	// Samples are accumulated in sorted class order: float summation is not
+	// associative, so iterating the map directly would make the fitted
+	// mean/std (and therefore borderline classifications) vary run to run.
 	a.mean = map[march.Event]float64{}
 	a.std = map[march.Event]float64{}
 	for _, e := range events {
 		var all []float64
-		for _, profs := range samples {
-			for _, p := range profs {
+		for _, cls := range a.classes {
+			for _, p := range samples[cls] {
 				all = append(all, p.Get(e))
 			}
 		}
@@ -83,7 +86,9 @@ func (a *KNN) vector(p hpc.Profile) []float64 {
 }
 
 // Classify returns the majority class among the k nearest profiling
-// points (ties broken toward the nearer neighbour set).
+// points. Ties are broken deterministically: most votes first, then the
+// class with the closest neighbour, then the smallest class id — never map
+// iteration order, so a tied query resolves identically on every call.
 func (a *KNN) Classify(p hpc.Profile) int {
 	q := a.vector(p)
 	type nb struct {
@@ -99,9 +104,13 @@ func (a *KNN) Classify(p hpc.Profile) int {
 		}
 		nbs[i] = nb{d: math.Sqrt(d), cls: a.labels[i]}
 	}
-	sort.Slice(nbs, func(i, j int) bool { return nbs[i].d < nbs[j].d })
+	sort.Slice(nbs, func(i, j int) bool {
+		if nbs[i].d != nbs[j].d {
+			return nbs[i].d < nbs[j].d
+		}
+		return nbs[i].cls < nbs[j].cls
+	})
 	votes := map[int]int{}
-	best, bestVotes, bestDist := a.labels[0], -1, math.Inf(1)
 	closest := map[int]float64{}
 	for i := 0; i < a.k; i++ {
 		cls := nbs[i].cls
@@ -110,13 +119,25 @@ func (a *KNN) Classify(p hpc.Profile) int {
 			closest[cls] = nbs[i].d
 		}
 	}
-	for cls, v := range votes {
-		if v > bestVotes || (v == bestVotes && closest[cls] < bestDist) {
-			best, bestVotes, bestDist = cls, v, closest[cls]
+	cand := make([]int, 0, len(votes))
+	for cls := range votes {
+		cand = append(cand, cls)
+	}
+	sort.Ints(cand)
+	best := cand[0]
+	for _, cls := range cand[1:] {
+		switch {
+		case votes[cls] > votes[best]:
+			best = cls
+		case votes[cls] == votes[best] && closest[cls] < closest[best]:
+			best = cls
 		}
 	}
 	return best
 }
+
+// Predict implements Model.
+func (a *KNN) Predict(p hpc.Profile) int { return a.Classify(p) }
 
 // K returns the effective neighbourhood size.
 func (a *KNN) K() int { return a.k }

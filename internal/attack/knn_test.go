@@ -93,6 +93,56 @@ func TestKNNStandardizationMakesScalesComparable(t *testing.T) {
 	}
 }
 
+// TestKNNTieBreakDeterministic is the regression test for the map-order
+// vote loop: a deliberately tied query (equal votes per class, equal
+// closest distances) must resolve by ascending class id — the same answer
+// on every one of 100 calls, where the old `for cls, v := range votes`
+// tie-break flipped with map iteration order.
+func TestKNNTieBreakDeterministic(t *testing.T) {
+	// One event, two classes symmetric around the query: after
+	// standardization the training points sit at exactly ±1, so k=4 sees
+	// two neighbours of each class at distance 1 — votes tied 2-2, closest
+	// distances tied 1-1.
+	samples := map[int][]hpc.Profile{
+		7: {{march.EvCacheMisses: 100}, {march.EvCacheMisses: 100}},
+		2: {{march.EvCacheMisses: 300}, {march.EvCacheMisses: 300}},
+	}
+	a, err := NewKNN(4, []march.Event{march.EvCacheMisses}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := hpc.Profile{march.EvCacheMisses: 200}
+	for i := 0; i < 100; i++ {
+		if got := a.Classify(query); got != 2 {
+			t.Fatalf("call %d: tied query classified as %d, want lowest class id 2", i, got)
+		}
+	}
+}
+
+// TestKNNTieBreakPrefersCloserClass: with votes tied but one class owning
+// the nearer neighbour, the nearer class must win regardless of class id.
+func TestKNNTieBreakPrefersCloserClass(t *testing.T) {
+	samples := map[int][]hpc.Profile{
+		1: {{march.EvCacheMisses: 130}, {march.EvCacheMisses: 400}},
+		9: {{march.EvCacheMisses: 90}, {march.EvCacheMisses: 60}},
+	}
+	a, err := NewKNN(2, []march.Event{march.EvCacheMisses}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two nearest neighbours of 120 are 130 (class 1) and 90 (class 9):
+	// votes 1-1, class 1 is closer, so class 1 must win even though 9 > 1
+	// would never be reached and 1 < 9 agrees — flip the query to favour 9.
+	for i := 0; i < 100; i++ {
+		if got := a.Classify(hpc.Profile{march.EvCacheMisses: 120}); got != 1 {
+			t.Fatalf("call %d: got %d, want closer class 1", i, got)
+		}
+		if got := a.Classify(hpc.Profile{march.EvCacheMisses: 95}); got != 9 {
+			t.Fatalf("call %d: got %d, want closer class 9", i, got)
+		}
+	}
+}
+
 func TestKNNAgreesWithTemplateOnGaussians(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	means := map[int][2]float64{0: {100, 5000}, 1: {260, 5100}}

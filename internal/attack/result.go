@@ -1,0 +1,129 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hpc"
+	"repro/internal/march"
+)
+
+// Model is the common prediction interface of the fitted attackers: given
+// one unlabelled HPC profile, return the recovered input category.
+type Model interface {
+	Predict(prof hpc.Profile) int
+}
+
+// Result is the outcome of one end-to-end attack campaign: both attackers
+// fitted on the same profiling observations and scored on the same
+// held-out attack observations. It is the exploitation counterpart of the
+// Evaluator's Report — where the Report says "these distributions are
+// distinguishable", the Result says "and here is how often an adversary
+// recovers the category from them".
+type Result struct {
+	// Name identifies the campaign (dataset/defense).
+	Name string
+	// Events are the profiled HPC events (feature order of the attackers).
+	Events []march.Event
+	// Classes are the attacked categories in ascending order.
+	Classes []int
+	// ProfileRuns / AttackRuns are the per-class observation counts of the
+	// profiling and held-out attack phases.
+	ProfileRuns, AttackRuns int
+	// K is the effective kNN neighbourhood size.
+	K int
+	// Templates are the fitted Gaussian templates (per-class mean/variance).
+	Templates []Template
+	// Template / KNN are the confusion matrices of the two attackers over
+	// the held-out observations.
+	Template *ConfusionMatrix
+	KNN      *ConfusionMatrix
+}
+
+// ChanceLevel is the accuracy of random guessing over the result's classes.
+func (r *Result) ChanceLevel() float64 {
+	if len(r.Classes) == 0 {
+		return 0
+	}
+	return 1 / float64(len(r.Classes))
+}
+
+// Split partitions per-class labelled observations into the profiling set
+// (the first profileRuns observations of every class) and the held-out
+// attack set (the rest). Every class needs at least two profiling
+// observations (Gaussian templates need a variance) and one attack
+// observation.
+func Split(byClass map[int][]hpc.Profile, profileRuns int) (profSet, atkSet map[int][]hpc.Profile, err error) {
+	if len(byClass) < 2 {
+		return nil, nil, fmt.Errorf("attack: need observations for at least 2 classes, got %d", len(byClass))
+	}
+	if profileRuns < 2 {
+		return nil, nil, fmt.Errorf("attack: need at least 2 profiling runs per class, got %d", profileRuns)
+	}
+	profSet = make(map[int][]hpc.Profile, len(byClass))
+	atkSet = make(map[int][]hpc.Profile, len(byClass))
+	for cls, obs := range byClass {
+		if len(obs) <= profileRuns {
+			return nil, nil, fmt.Errorf("attack: class %d has %d observations, need > %d to hold out attack runs",
+				cls, len(obs), profileRuns)
+		}
+		profSet[cls] = obs[:profileRuns]
+		atkSet[cls] = obs[profileRuns:]
+	}
+	return profSet, atkSet, nil
+}
+
+// Evaluate fits the Gaussian template and kNN attackers on the profiling
+// set and classifies every held-out observation in deterministic
+// (class, run) order. All inputs are read in sorted class order and both
+// attackers break ties deterministically, so the same observations always
+// yield byte-identical confusion matrices.
+func Evaluate(name string, events []march.Event, profSet, atkSet map[int][]hpc.Profile, k int) (*Result, error) {
+	classes := make([]int, 0, len(profSet))
+	for cls := range profSet {
+		classes = append(classes, cls)
+	}
+	sort.Ints(classes)
+
+	profiler, err := NewProfiler(events)
+	if err != nil {
+		return nil, err
+	}
+	for _, cls := range classes {
+		for _, p := range profSet[cls] {
+			profiler.Add(cls, p)
+		}
+	}
+	tpl, err := profiler.Build()
+	if err != nil {
+		return nil, err
+	}
+	knn, err := NewKNN(k, events, profSet)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Name:      name,
+		Events:    append([]march.Event(nil), events...),
+		Classes:   classes,
+		K:         knn.K(),
+		Templates: tpl.Templates(),
+		Template:  NewConfusionMatrix(classes),
+		KNN:       NewConfusionMatrix(classes),
+	}
+	for _, cls := range classes {
+		obs := atkSet[cls]
+		if len(obs) == 0 {
+			return nil, fmt.Errorf("attack: class %d has no held-out attack observations", cls)
+		}
+		if res.ProfileRuns == 0 {
+			res.ProfileRuns, res.AttackRuns = len(profSet[cls]), len(obs)
+		}
+		for _, p := range obs {
+			res.Template.Record(cls, tpl.Predict(p))
+			res.KNN.Record(cls, knn.Predict(p))
+		}
+	}
+	return res, nil
+}

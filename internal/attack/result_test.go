@@ -1,0 +1,85 @@
+package attack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/hpc"
+	"repro/internal/march"
+)
+
+func TestSplitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	byClass := map[int][]hpc.Profile{}
+	for cls := 0; cls < 2; cls++ {
+		for i := 0; i < 5; i++ {
+			byClass[cls] = append(byClass[cls], gaussianProfile(rng, 100, 1000))
+		}
+	}
+	if _, _, err := Split(map[int][]hpc.Profile{0: byClass[0]}, 2); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, _, err := Split(byClass, 1); err == nil {
+		t.Fatal("profileRuns < 2 accepted")
+	}
+	if _, _, err := Split(byClass, 5); err == nil {
+		t.Fatal("split with no held-out observations accepted")
+	}
+	prof, atk, err := Split(byClass, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cls := 0; cls < 2; cls++ {
+		if len(prof[cls]) != 3 || len(atk[cls]) != 2 {
+			t.Fatalf("class %d split = %d/%d, want 3/2", cls, len(prof[cls]), len(atk[cls]))
+		}
+		// Positional split: the attack set is exactly the tail.
+		if !reflect.DeepEqual(atk[cls], byClass[cls][3:]) {
+			t.Fatalf("class %d attack set is not the positional tail", cls)
+		}
+	}
+}
+
+// TestEvaluateDeterministic: the same observations must always produce
+// byte-identical results — the property the pipeline's worker-invariance
+// guarantee rests on.
+func TestEvaluateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := []march.Event{march.EvCacheMisses, march.EvBranches}
+	byClass := map[int][]hpc.Profile{}
+	means := map[int][2]float64{1: {100, 5000}, 2: {180, 5050}, 3: {260, 4950}}
+	for cls, m := range means {
+		for i := 0; i < 30; i++ {
+			byClass[cls] = append(byClass[cls], gaussianProfile(rng, m[0], m[1]))
+		}
+	}
+	run := func() *Result {
+		prof, atk, err := Split(byClass, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Evaluate("det", events, prof, atk, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated Evaluate diverged:\n%+v\n%+v", a, b)
+	}
+	if a.ProfileRuns != 20 || a.AttackRuns != 10 || len(a.Classes) != 3 {
+		t.Fatalf("result metadata wrong: %+v", a)
+	}
+	if a.Template.Total != 30 || a.KNN.Total != 30 {
+		t.Fatalf("matrix totals = %d/%d, want 30", a.Template.Total, a.KNN.Total)
+	}
+	if a.ChanceLevel() != 1.0/3 {
+		t.Fatalf("chance = %v", a.ChanceLevel())
+	}
+	// Well-separated classes: both attackers must beat chance comfortably.
+	if a.Template.Accuracy() < 0.8 || a.KNN.Accuracy() < 0.8 {
+		t.Fatalf("accuracies %.2f/%.2f on well-separated classes", a.Template.Accuracy(), a.KNN.Accuracy())
+	}
+}

@@ -111,6 +111,12 @@ func (a *Attacker) Classify(prof hpc.Profile) (int, map[int]float64) {
 	return best, scores
 }
 
+// Predict implements Model.
+func (a *Attacker) Predict(p hpc.Profile) int {
+	cls, _ := a.Classify(p)
+	return cls
+}
+
 // ConfusionMatrix tallies attack outcomes: Matrix[true][predicted].
 type ConfusionMatrix struct {
 	Classes []int

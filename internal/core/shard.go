@@ -94,13 +94,15 @@ func (ev *Evaluator) PlanShards(perClass map[int][]*tensor.Tensor, rootSeed int6
 	return shards, nil
 }
 
-// CollectShard executes one shard on target: it cold-resets the simulated
-// core (so cache/predictor state from other shards cannot bleed in), runs
-// the configured warm-up on the shard's own pool, then measures Count
+// CollectShardProfiles executes one shard on target and returns the raw
+// per-run HPC profiles in run order — the labelled observations the attack
+// stage fits and scores on. It cold-resets the simulated core (so
+// cache/predictor state from other shards cannot bleed in), runs the
+// configured warm-up on the shard's own pool, then measures Count
 // classifications starting at run index Start. Run index r always maps to
 // Pool[r%len(Pool)], so the image sequence is independent of the sharding
 // granularity. The context is checked between classifications.
-func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) (*Distributions, error) {
+func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh Shard) ([]hpc.Profile, error) {
 	if target == nil {
 		return nil, fmt.Errorf("core: nil target")
 	}
@@ -115,15 +117,6 @@ func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) 
 		return nil, err
 	}
 
-	d := &Distributions{
-		Events:  append([]march.Event(nil), ev.cfg.Events...),
-		Classes: []int{sh.Class},
-		Samples: map[march.Event]map[int][]float64{},
-	}
-	for _, e := range ev.cfg.Events {
-		d.Samples[e] = map[int][]float64{sh.Class: make([]float64, 0, sh.Count)}
-	}
-
 	// Fresh micro-architectural state per shard, then the standard
 	// measure-after-warm-up discipline on this shard's own class.
 	target.Engine().ColdReset()
@@ -136,6 +129,7 @@ func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) 
 		}
 	}
 
+	profs := make([]hpc.Profile, 0, sh.Count)
 	for run := sh.Start; run < sh.Start+sh.Count; run++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -151,9 +145,30 @@ func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) 
 		if classifyErr != nil {
 			return nil, fmt.Errorf("core: classification failed: %w", classifyErr)
 		}
-		for _, e := range ev.cfg.Events {
-			d.Samples[e][sh.Class] = append(d.Samples[e][sh.Class], prof.Get(e))
+		profs = append(profs, prof)
+	}
+	return profs, nil
+}
+
+// CollectShard executes one shard on target (see CollectShardProfiles for
+// the collection discipline) and transposes the per-run profiles into
+// per-event distributions — the shape the hypothesis-test stage consumes.
+func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) (*Distributions, error) {
+	profs, err := ev.CollectShardProfiles(ctx, target, sh)
+	if err != nil {
+		return nil, err
+	}
+	d := &Distributions{
+		Events:  append([]march.Event(nil), ev.cfg.Events...),
+		Classes: []int{sh.Class},
+		Samples: map[march.Event]map[int][]float64{},
+	}
+	for _, e := range ev.cfg.Events {
+		xs := make([]float64, len(profs))
+		for i, p := range profs {
+			xs[i] = p.Get(e)
 		}
+		d.Samples[e] = map[int][]float64{sh.Class: xs}
 	}
 	return d, nil
 }

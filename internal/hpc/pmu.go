@@ -131,7 +131,6 @@ func (p *PMU) Measure(slices int, workload func(slice int)) (Profile, error) {
 	prof := Profile{}
 	enabled := map[march.Event]int{}
 	raw := map[march.Event]float64{}
-	before := p.engine.Counts()
 	for s := 0; s < slices; s++ {
 		group := p.groups[s%len(p.groups)]
 		start := p.engine.Counts()
@@ -143,8 +142,6 @@ func (p *PMU) Measure(slices int, workload func(slice int)) (Profile, error) {
 			enabled[e]++
 		}
 	}
-	total := p.engine.Counts().Sub(before)
-	_ = total
 	for _, e := range p.events {
 		n := enabled[e]
 		if n == 0 {
@@ -170,11 +167,9 @@ func (p *PMU) Measure(slices int, workload func(slice int)) (Profile, error) {
 // MeasureOnce is the common single-interval form: it observes one call of
 // workload with no multiplex rotation error when enough registers exist.
 func (p *PMU) MeasureOnce(workload func()) (Profile, error) {
-	slices := 1
 	if len(p.groups) > 1 {
-		slices = len(p.groups)
 		return nil, fmt.Errorf("hpc: %d events exceed %d registers; use Measure with ≥%d slices",
-			len(p.events), p.registers, slices)
+			len(p.events), p.registers, len(p.groups))
 	}
 	return p.Measure(1, func(int) { workload() })
 }

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/hpc"
+	"repro/internal/tensor"
+)
+
+// CollectProfiles fans the campaign's shard plan out over the worker pool
+// and returns the labelled per-run HPC profiles, byClass[class][run]. It is
+// the attack stage's counterpart of Collect: the same shard units, fresh
+// per-shard targets and derived seeds, merged by (class, run) offset — so
+// the observation for run r of class c is identical at any worker count.
+func (p *Pipeline) CollectProfiles(ctx context.Context, factory TargetFactory, perClass map[int][]*tensor.Tensor) (map[int][]hpc.Profile, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("pipeline: nil target factory")
+	}
+	shards, err := p.ev.PlanShards(perClass, p.cfg.RootSeed, p.cfg.ShardRuns)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]hpc.Profile, len(shards))
+	err = p.forEach(ctx, len(shards), func(ctx context.Context, i int) error {
+		sh := shards[i]
+		target, err := factory(sh.Seed)
+		if err != nil {
+			return fmt.Errorf("pipeline: shard %d target: %w", sh.Index, err)
+		}
+		part, err := p.ev.CollectShardProfiles(ctx, target, sh)
+		if err != nil {
+			return err
+		}
+		parts[i] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	runs := p.ev.Config().RunsPerClass
+	byClass := map[int][]hpc.Profile{}
+	for i, sh := range shards {
+		if len(parts[i]) != sh.Count {
+			return nil, fmt.Errorf("pipeline: shard %d has %d profiles, want %d", sh.Index, len(parts[i]), sh.Count)
+		}
+		if byClass[sh.Class] == nil {
+			byClass[sh.Class] = make([]hpc.Profile, runs)
+		}
+		copy(byClass[sh.Class][sh.Start:sh.Start+sh.Count], parts[i])
+	}
+	return byClass, nil
+}
+
+// Attack runs the end-to-end attack stage: sharded collection of
+// RunsPerClass labelled observations per class, a deterministic split into
+// the first profileRuns (profiling) and the rest (held-out attack runs),
+// then both attackers fitted and scored in deterministic (class, run)
+// order. Because the split is positional over the deterministic merge, the
+// confusion matrices are bit-for-bit identical at any worker count.
+func (p *Pipeline) Attack(ctx context.Context, name string, factory TargetFactory, perClass map[int][]*tensor.Tensor, profileRuns, k int) (*attack.Result, error) {
+	total := p.ev.Config().RunsPerClass
+	if profileRuns < 2 || profileRuns >= total {
+		return nil, fmt.Errorf("pipeline: profileRuns %d outside [2, %d); RunsPerClass must cover profiling plus held-out attack runs",
+			profileRuns, total)
+	}
+	byClass, err := p.CollectProfiles(ctx, factory, perClass)
+	if err != nil {
+		return nil, err
+	}
+	profSet, atkSet, err := attack.Split(byClass, profileRuns)
+	if err != nil {
+		return nil, err
+	}
+	return attack.Evaluate(name, p.ev.Config().Events, profSet, atkSet, k)
+}

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAttackDeterminismAcrossWorkerCounts is the attack stage's core
+// guarantee: workers=1 and workers=8 must produce byte-identical confusion
+// matrices and accuracies for the same root seed. Run with -race to verify
+// no attacker or profile state is shared between workers.
+func TestAttackDeterminismAcrossWorkerCounts(t *testing.T) {
+	net := testNet(t)
+	pools := testPools(3, 4)
+	evCfg := core.Config{RunsPerClass: 18, WarmupRuns: 1}
+
+	run := func(workers int) []byte {
+		p := newPipeline(t, evCfg, Config{Workers: workers, RootSeed: 7, ShardRuns: 5})
+		res, err := p.Attack(context.Background(), "attack-determinism", testFactory(t, net), pools, 12, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ProfileRuns != 12 || res.AttackRuns != 6 {
+			t.Fatalf("split = %d/%d, want 12/6", res.ProfileRuns, res.AttackRuns)
+		}
+		if res.Template.Total != 18 || res.KNN.Total != 18 { // 3 classes × 6 runs
+			t.Fatalf("matrix totals = %d/%d, want 18", res.Template.Total, res.KNN.Total)
+		}
+		// Serialize the whole result so any divergence — matrix cell,
+		// accuracy, template mean — fails the comparison.
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("attack results differ across worker counts:\n  workers=1: %s\n  workers=8: %s", seq, par)
+	}
+}
+
+// TestAttackRepeatedRun guards against hidden global state: two identical
+// pooled attack runs must agree with each other.
+func TestAttackRepeatedRun(t *testing.T) {
+	net := testNet(t)
+	pools := testPools(2, 3)
+	run := func() []byte {
+		p := newPipeline(t, core.Config{RunsPerClass: 10, WarmupRuns: 1}, Config{Workers: 4, RootSeed: 3, ShardRuns: 4})
+		res, err := p.Attack(context.Background(), "attack-repeat", testFactory(t, net), pools, 6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated attack runs diverged:\n  %s\n  %s", a, b)
+	}
+}
+
+// TestAttackRootSeedChangesObservations: -seed must reseed the attack
+// campaign's noise streams.
+func TestAttackRootSeedChangesObservations(t *testing.T) {
+	net := testNet(t)
+	pools := testPools(2, 3)
+	collect := func(seed int64) map[int][]float64 {
+		p := newPipeline(t, core.Config{RunsPerClass: 8, WarmupRuns: 1}, Config{Workers: 2, RootSeed: seed})
+		byClass, err := p.CollectProfiles(context.Background(), testFactory(t, net), pools)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := map[int][]float64{}
+		for cls, profs := range byClass {
+			for _, prof := range profs {
+				for _, e := range prof.Events() {
+					flat[cls] = append(flat[cls], prof.Get(e))
+				}
+			}
+		}
+		return flat
+	}
+	if reflect.DeepEqual(collect(1), collect(2)) {
+		t.Fatal("root seed had no effect on attack observations")
+	}
+}
+
+func TestAttackValidation(t *testing.T) {
+	net := testNet(t)
+	pools := testPools(2, 3)
+	p := newPipeline(t, core.Config{RunsPerClass: 10, WarmupRuns: 0}, Config{Workers: 2, RootSeed: 1})
+	if _, err := p.Attack(context.Background(), "bad", testFactory(t, net), pools, 1, 3); err == nil {
+		t.Fatal("profileRuns < 2 accepted")
+	}
+	if _, err := p.Attack(context.Background(), "bad", testFactory(t, net), pools, 10, 3); err == nil {
+		t.Fatal("profileRuns == RunsPerClass accepted (no held-out attack runs)")
+	}
+	if _, err := p.CollectProfiles(context.Background(), nil, pools); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+// TestCollectProfilesMatchesCollect: the labelled profiles the attack
+// stage consumes must carry exactly the same observations as the
+// distributions the hypothesis-test stage consumes — one collection
+// discipline, two views.
+func TestCollectProfilesMatchesCollect(t *testing.T) {
+	net := testNet(t)
+	pools := testPools(2, 3)
+	evCfg := core.Config{RunsPerClass: 8, WarmupRuns: 1}
+	cfg := Config{Workers: 2, RootSeed: 9, ShardRuns: 4}
+
+	p := newPipeline(t, evCfg, cfg)
+	d, err := p.Collect(context.Background(), testFactory(t, net), pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass, err := p.CollectProfiles(context.Background(), testFactory(t, net), pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range d.Events {
+		for _, cls := range d.Classes {
+			xs := d.Get(e, cls)
+			if len(byClass[cls]) != len(xs) {
+				t.Fatalf("class %d: %d profiles vs %d samples", cls, len(byClass[cls]), len(xs))
+			}
+			for r, v := range xs {
+				if got := byClass[cls][r].Get(e); got != v {
+					t.Fatalf("%s class %d run %d: profile %v vs distribution %v", e, cls, r, got, v)
+				}
+			}
+		}
+	}
+}

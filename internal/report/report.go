@@ -1,15 +1,18 @@
 // Package report renders the evaluation results in the forms the paper
 // presents them: the t/p tables (Tables 1 and 2), per-category event
 // distributions as ASCII histograms (Figures 3 and 4), per-category bar
-// charts of mean counts (Figure 1), and CSV export for external plotting.
+// charts of mean counts (Figure 1), CSV export for external plotting, and
+// confusion matrices for the attack stage's recovery results.
 package report
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/march"
 	"repro/internal/stats"
@@ -103,13 +106,15 @@ func BarChart(w io.Writer, title string, labels []string, values []float64, widt
 	if width <= 0 {
 		width = 50
 	}
-	maxV := values[0]
+	maxV := math.NaN()
 	for _, v := range values {
-		if v > maxV {
+		// NaN never wins a comparison, so it must not seed the scan either
+		// (a NaN maxV would poison every division below).
+		if !math.IsNaN(v) && (math.IsNaN(maxV) || v > maxV) {
 			maxV = v
 		}
 	}
-	if maxV <= 0 {
+	if math.IsNaN(maxV) || maxV <= 0 {
 		maxV = 1
 	}
 	fmt.Fprintln(w, title)
@@ -120,10 +125,54 @@ func BarChart(w io.Writer, title string, labels []string, values []float64, widt
 		}
 	}
 	for i, v := range values {
-		n := int(v / maxV * float64(width))
+		// Clamp at zero: a negative (or NaN) value must render an empty bar,
+		// not panic strings.Repeat with a negative count.
+		n := 0
+		if frac := v / maxV; frac > 0 {
+			n = int(frac * float64(width))
+		}
 		fmt.Fprintf(w, "  %-*s  %s %.1f\n", labW, labels[i], strings.Repeat("█", n), v)
 	}
 	return nil
+}
+
+// Confusion renders one attacker's confusion matrix — rows are true
+// categories, columns recovered ones — with an accuracy-vs-chance line.
+func Confusion(w io.Writer, title string, cm *attack.ConfusionMatrix) error {
+	if cm == nil || len(cm.Classes) == 0 {
+		return fmt.Errorf("report: empty confusion matrix")
+	}
+	fmt.Fprintln(w, title)
+	header := fmt.Sprintf("  %-10s", "true\\pred")
+	for _, pred := range cm.Classes {
+		header += fmt.Sprintf("%8d", pred)
+	}
+	fmt.Fprintln(w, header)
+	for _, truth := range cm.Classes {
+		row := fmt.Sprintf("  %-10d", truth)
+		for _, pred := range cm.Classes {
+			row += fmt.Sprintf("%8d", cm.Matrix[truth][pred])
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintf(w, "  accuracy %.1f%% over %d attack runs (chance %.1f%%)\n",
+		100*cm.Accuracy(), cm.Total, 100*cm.ChanceLevel())
+	return nil
+}
+
+// AttackSummary renders a full attack-stage result: campaign metadata and
+// the confusion matrices of both attackers.
+func AttackSummary(w io.Writer, r *attack.Result) error {
+	names := make([]string, len(r.Events))
+	for i, e := range r.Events {
+		names[i] = e.String()
+	}
+	fmt.Fprintf(w, "attack campaign %s: events %s, %d profiling + %d attack runs per category, kNN k=%d\n",
+		r.Name, strings.Join(names, ","), r.ProfileRuns, r.AttackRuns, r.K)
+	if err := Confusion(w, "gaussian template attack:", r.Template); err != nil {
+		return err
+	}
+	return Confusion(w, fmt.Sprintf("%d-NN attack:", r.K), r.KNN)
 }
 
 // HistogramPanel renders the per-class distributions of one event as

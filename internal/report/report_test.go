@@ -1,9 +1,11 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/march"
 	"repro/internal/stats"
@@ -120,6 +122,91 @@ func TestBarChartZeroValues(t *testing.T) {
 	var b strings.Builder
 	if err := BarChart(&b, "zeros", []string{"a", "b"}, []float64{0, 0}, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBarChartNegativeValues is the regression test for the negative-count
+// panic: a negative value (legal for derived metrics like deltas) must
+// render an empty bar, not crash strings.Repeat.
+func TestBarChartNegativeValues(t *testing.T) {
+	var b strings.Builder
+	if err := BarChart(&b, "deltas", []string{"a", "b", "c"}, []float64{-5, 10, math.NaN()}, 20); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if strings.Count(lines[1], "█") != 0 || strings.Count(lines[3], "█") != 0 {
+		t.Fatalf("negative/NaN values drew bars:\n%s", b.String())
+	}
+	if strings.Count(lines[2], "█") == 0 {
+		t.Fatalf("positive value lost its bar:\n%s", b.String())
+	}
+	// All-negative charts exercise the maxV <= 0 fallback.
+	b.Reset()
+	if err := BarChart(&b, "all-negative", []string{"a", "b"}, []float64{-3, -1}, 20); err != nil {
+		t.Fatal(err)
+	}
+	// A NaN in the FIRST slot must not poison the max scan: the positive
+	// value still gets a proportional bar.
+	b.Reset()
+	if err := BarChart(&b, "nan-first", []string{"a", "b"}, []float64{math.NaN(), 10}, 20); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(b.String()), "\n")
+	if strings.Count(lines[2], "█") == 0 {
+		t.Fatalf("NaN in values[0] erased the positive bar:\n%s", b.String())
+	}
+	// All-NaN values fall back to empty bars without panicking.
+	b.Reset()
+	if err := BarChart(&b, "all-nan", []string{"a"}, []float64{math.NaN()}, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusionRendering(t *testing.T) {
+	cm := attack.NewConfusionMatrix([]int{1, 2})
+	cm.Record(1, 1)
+	cm.Record(1, 2)
+	cm.Record(2, 2)
+	cm.Record(2, 2)
+	var b strings.Builder
+	if err := Confusion(&b, "template attack:", cm); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"template attack:", "true\\pred", "accuracy 75.0% over 4 attack runs", "chance 50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("confusion output missing %q:\n%s", want, out)
+		}
+	}
+	if err := Confusion(&b, "empty", attack.NewConfusionMatrix(nil)); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestAttackSummaryRendering(t *testing.T) {
+	res := &attack.Result{
+		Name:        "mnist/baseline",
+		Events:      []march.Event{march.EvCacheMisses, march.EvBranches},
+		Classes:     []int{1, 2},
+		ProfileRuns: 10,
+		AttackRuns:  4,
+		K:           3,
+		Template:    attack.NewConfusionMatrix([]int{1, 2}),
+		KNN:         attack.NewConfusionMatrix([]int{1, 2}),
+	}
+	for _, cm := range []*attack.ConfusionMatrix{res.Template, res.KNN} {
+		cm.Record(1, 1)
+		cm.Record(2, 2)
+	}
+	var b strings.Builder
+	if err := AttackSummary(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"mnist/baseline", "cache-misses,branches", "10 profiling + 4 attack runs", "gaussian template attack:", "3-NN attack:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("attack summary missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -311,7 +311,8 @@ type Histogram struct {
 }
 
 // NewHistogram bins xs into `bins` equal-width buckets spanning [lo, hi].
-// Values outside are clamped into the edge bins.
+// Values outside are clamped into the edge bins; NaN values are skipped
+// (they have no bin, and int(NaN) is platform-defined).
 func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
 	if bins <= 0 {
 		return nil, fmt.Errorf("stats: histogram needs positive bins, got %d", bins)
@@ -322,6 +323,21 @@ func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
 	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 	w := (hi - lo) / float64(bins)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		// int(±Inf) is platform-defined like int(NaN); clamp by sign so an
+		// infinite value lands in the correct edge bin on every platform.
+		if math.IsInf(x, 1) {
+			h.Counts[bins-1]++
+			h.Total++
+			continue
+		}
+		if math.IsInf(x, -1) {
+			h.Counts[0]++
+			h.Total++
+			continue
+		}
 		b := int((x - lo) / w)
 		if b < 0 {
 			b = 0

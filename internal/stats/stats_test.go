@@ -279,6 +279,36 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramSkipsNaN: int(NaN) binning is platform-defined, so NaN
+// inputs must be skipped rather than counted into an arbitrary bin.
+func TestHistogramSkipsNaN(t *testing.T) {
+	h, err := NewHistogram([]float64{math.NaN(), 0.25, math.NaN(), 0.75}, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 2 {
+		t.Fatalf("total = %d, want 2 (NaNs counted)", h.Total)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("counts = %v, want [1 1]", h.Counts)
+	}
+}
+
+// TestHistogramClampsInf: int(±Inf) is platform-defined like int(NaN), so
+// infinite values must clamp into the correct edge bin by sign.
+func TestHistogramClampsInf(t *testing.T) {
+	h, err := NewHistogram([]float64{math.Inf(1), math.Inf(-1), 0.75}, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 3 {
+		t.Fatalf("total = %d, want 3", h.Total)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 2 {
+		t.Fatalf("counts = %v, want [1 2] (+Inf in top bin, -Inf in bottom)", h.Counts)
+	}
+}
+
 func TestQuickTTestAntisymmetry(t *testing.T) {
 	// t(a,b) = -t(b,a), identical p.
 	f := func(seed int64) bool {

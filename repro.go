@@ -24,6 +24,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -90,6 +92,20 @@ func ParseDefense(s string) (DefenseLevel, error) {
 	return 0, fmt.Errorf("repro: unknown defense %q (want baseline, dense-execution, constant-time or noise-injection)", s)
 }
 
+// ParseClasses parses a comma-separated category-label list
+// ("1,2,3,4") — the single -classes mapping the CLIs share.
+func ParseClasses(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("repro: bad class list %q: %w", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // ScenarioConfig controls scenario construction. The zero value (plus a
 // Dataset) reproduces the paper's setup.
 type ScenarioConfig struct {
@@ -111,6 +127,9 @@ type ScenarioConfig struct {
 	DisableRuntime bool
 	// DisableNoise removes measurement noise (deterministic counts).
 	DisableNoise bool
+	// TrainProgress, when non-nil, receives per-epoch training loss and
+	// accuracy (used by cmd/train).
+	TrainProgress func(epoch int, loss, acc float64)
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -183,6 +202,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	}
 	err = nn.Train(net, train.Inputs(), train.Labels(), nn.TrainConfig{
 		Epochs: cfg.Epochs, BatchSize: 16, LR: lr, Momentum: 0.9, Seed: cfg.Seed + 2,
+		Progress: cfg.TrainProgress,
 	})
 	if err != nil {
 		return nil, err

@@ -45,6 +45,14 @@ type SweepConfig struct {
 	// Seed is the sweep root seed; every cell derives its own root from
 	// (Seed, cell index). 0 → 1.
 	Seed int64
+	// Attack additionally runs the end-to-end attack stage per cell: the
+	// attackers profile with the cell's trace budget, are scored on
+	// AttackRuns held-out observations, and the cell reports
+	// template/kNN recovery accuracy next to the leakage verdict.
+	Attack bool
+	// AttackRuns is the held-out attack observations per class when Attack
+	// is set; 0 derives half the cell's trace budget (minimum 10).
+	AttackRuns int
 	// Scenario is the template for per-dataset scenario construction
 	// (Dataset and Defense are overridden per grid point).
 	Scenario ScenarioConfig
@@ -87,7 +95,15 @@ type SweepResult struct {
 	Leaky    bool    `json:"leaky"`
 	MinP     float64 `json:"min_p"`
 	MaxAbsT  float64 `json:"max_abs_t"`
-	WallMS   int64   `json:"wall_ms"`
+	// Attack-stage columns: recovery accuracy of the Gaussian template and
+	// kNN attackers over AttackRuns held-out observations per class. A
+	// zero AttackRuns means the stage was not run and the accuracies are
+	// meaningless (they stay in the JSON so a genuine 0% recovery is never
+	// confused with stage-not-run; the CSV leaves all three blank instead).
+	AttackRuns  int     `json:"attack_runs"`
+	TemplateAcc float64 `json:"template_acc"`
+	KNNAcc      float64 `json:"knn_acc"`
+	WallMS      int64   `json:"wall_ms"`
 }
 
 // SweepGrid is the full sweep output.
@@ -195,7 +211,31 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 				fail(fmt.Errorf("sweep: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
 				return
 			}
-			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, time.Since(start))
+			var atk *AttackResult
+			if cfg.Attack {
+				atkRuns := cfg.AttackRuns
+				if atkRuns <= 0 {
+					atkRuns = cl.runs / 2
+					if atkRuns < 10 {
+						atkRuns = 10
+					}
+				}
+				atk, err = scenarios[cl.dataset].AttackGrouped(ctx, cl.defense, AttackConfig{
+					Classes:     cfg.Classes,
+					Events:      cl.events,
+					ProfileRuns: cl.runs,
+					AttackRuns:  atkRuns,
+					Workers:     cfg.Workers,
+					// Domain 3 keeps attack-stage observations disjoint from
+					// the cell's evaluation campaign (domain 0 above).
+					Seed: core.DeriveSeed(cfg.Seed, cl.index, 3),
+				})
+				if err != nil {
+					fail(fmt.Errorf("sweep attack: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
+					return
+				}
+			}
+			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, atk, time.Since(start))
 			grid.Results[cl.index] = res
 			if progress != nil {
 				progressMu.Lock()
@@ -288,7 +328,7 @@ func (s *Scenario) EvaluateGrouped(ctx context.Context, level DefenseLevel, cfg 
 	return merged, nil
 }
 
-func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int, rep *core.Report, wall time.Duration) SweepResult {
+func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int, rep *core.Report, atk *AttackResult, wall time.Duration) SweepResult {
 	res := SweepResult{
 		Dataset:  string(d),
 		Defense:  level.String(),
@@ -313,22 +353,34 @@ func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int
 			res.MaxAbsT = at
 		}
 	}
+	if atk != nil {
+		res.AttackRuns = atk.AttackRuns
+		res.TemplateAcc = atk.Template.Accuracy()
+		res.KNNAcc = atk.KNN.Accuracy()
+	}
 	return res
 }
 
 // WriteCSV emits the grid as a CSV table.
 func (g *SweepGrid) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"dataset", "defense", "runs", "events", "event_count", "tests", "alarms", "leaky", "min_p", "max_abs_t", "wall_ms"}); err != nil {
+	if err := cw.Write([]string{"dataset", "defense", "runs", "events", "event_count", "tests", "alarms", "leaky", "min_p", "max_abs_t", "attack_runs", "template_acc", "knn_acc", "wall_ms"}); err != nil {
 		return err
 	}
 	for _, r := range g.Results {
+		attackRuns, templateAcc, knnAcc := "", "", ""
+		if r.AttackRuns > 0 {
+			attackRuns = strconv.Itoa(r.AttackRuns)
+			templateAcc = strconv.FormatFloat(r.TemplateAcc, 'g', 6, 64)
+			knnAcc = strconv.FormatFloat(r.KNNAcc, 'g', 6, 64)
+		}
 		rec := []string{
 			r.Dataset, r.Defense, strconv.Itoa(r.Runs), r.EventSet,
 			strconv.Itoa(r.Events), strconv.Itoa(r.Tests), strconv.Itoa(r.Alarms),
 			strconv.FormatBool(r.Leaky),
 			strconv.FormatFloat(r.MinP, 'g', 6, 64),
 			strconv.FormatFloat(r.MaxAbsT, 'g', 6, 64),
+			attackRuns, templateAcc, knnAcc,
 			strconv.FormatInt(r.WallMS, 10),
 		}
 		if err := cw.Write(rec); err != nil {

@@ -19,6 +19,7 @@ func smallSweepConfig() SweepConfig {
 		Workers:      2,
 		CellParallel: 2,
 		Seed:         3,
+		Attack:       true,
 		Scenario: ScenarioConfig{
 			PerClassTrain: 20,
 			PerClassTest:  10,
@@ -52,6 +53,13 @@ func TestSweepGridShape(t *testing.T) {
 		if r.Leaky != (r.Alarms > 0) {
 			t.Fatalf("cell %d: leaky=%v with %d alarms", i, r.Leaky, r.Alarms)
 		}
+		// Attack-stage columns: budget/2 clamps to the 10-run minimum here.
+		if r.AttackRuns != 10 {
+			t.Fatalf("cell %d: attack_runs %d, want 10", i, r.AttackRuns)
+		}
+		if r.TemplateAcc < 0 || r.TemplateAcc > 1 || r.KNNAcc < 0 || r.KNNAcc > 1 {
+			t.Fatalf("cell %d: accuracies outside [0,1]: %+v", i, r)
+		}
 	}
 	// Grid order is deterministic: defense-major, then budget.
 	if grid.Results[0].Defense != "baseline" || grid.Results[0].Runs != 8 ||
@@ -67,6 +75,9 @@ func TestSweepGridShape(t *testing.T) {
 	if len(lines) != 5 || !strings.HasPrefix(lines[0], "dataset,defense,runs,events") {
 		t.Fatalf("CSV malformed:\n%s", csv.String())
 	}
+	if !strings.Contains(lines[0], "template_acc,knn_acc") {
+		t.Fatalf("CSV header missing attack accuracy columns:\n%s", lines[0])
+	}
 
 	var js strings.Builder
 	if err := grid.WriteJSON(&js); err != nil {
@@ -81,8 +92,29 @@ func TestSweepGridShape(t *testing.T) {
 	}
 }
 
-// TestSweepDeterministicAcrossParallelism: cell results must not depend on
-// how many cells or workers run concurrently.
+// TestSweepCSVAttackColumnsEmptyWhenDisabled: grids evaluated without the
+// attack stage must leave the accuracy columns blank, not report 0%.
+func TestSweepCSVAttackColumnsEmptyWhenDisabled(t *testing.T) {
+	g := &SweepGrid{Results: []SweepResult{
+		{Dataset: "mnist", Defense: "baseline", Runs: 10, EventSet: "base", MinP: 1},
+		{Dataset: "mnist", Defense: "baseline", Runs: 10, EventSet: "base", MinP: 1, AttackRuns: 10, TemplateAcc: 0.5, KNNAcc: 0.25},
+	}}
+	var b strings.Builder
+	if err := g.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if !strings.Contains(lines[1], ",,,,") {
+		t.Fatalf("disabled attack stage should leave blank columns: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], ",10,0.5,0.25,") {
+		t.Fatalf("enabled attack stage should fill the columns: %s", lines[2])
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism: cell results — including the
+// attack-stage accuracy columns — must not depend on how many cells or
+// workers run concurrently.
 func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	a := smallSweepConfig()
 	b := smallSweepConfig()
@@ -118,6 +150,16 @@ func TestSweepBadEventSet(t *testing.T) {
 	cfg.EventSets = []string{"no-such-event"}
 	if _, err := Sweep(context.Background(), cfg); err == nil {
 		t.Fatal("bad event spec accepted")
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	got, err := ParseClasses(" 1, 2,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("ParseClasses = %v, %v", got, err)
+	}
+	if _, err := ParseClasses("1,x"); err == nil {
+		t.Fatal("bad class list accepted")
 	}
 }
 
