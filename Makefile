@@ -1,12 +1,20 @@
 # Developer/CI entry points. `make ci` is the gate: vet, build, the full
-# test suite under the race detector, and a one-iteration benchmark smoke
-# pass (which also regenerates the paper's tables and figures once and
-# exercises the attack stage at both worker counts via
-# BenchmarkAttackStage).
+# test suite under the race detector, the allocation gate for the
+# simulation hot paths (run without -race, which would perturb the
+# counts), a short hot-path benchmark smoke so ns/op regressions fail
+# fast, and a one-iteration benchmark pass (which also regenerates the
+# paper's tables and figures once and exercises the attack stage at both
+# worker counts via BenchmarkAttackStage).
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci golden
+# PR number stamped into the benchmark trajectory snapshot.
+BENCH_PR ?= 3
+BENCH_JSON ?= BENCH_PR$(BENCH_PR).json
+# Key micro/campaign benches tracked across PRs.
+BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage
+
+.PHONY: all build vet test race bench bench-json allocgate benchsmoke ci golden
 
 all: build
 
@@ -25,9 +33,25 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
+# Snapshot the key benches into the perf trajectory file for this PR.
+# Commit the result so the trajectory BENCH_*.json series stays populated.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_KEY)' -benchmem -benchtime=2s . \
+		| $(GO) run ./cmd/benchjson -pr $(BENCH_PR) > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+# Allocation gate: the hot paths (Hierarchy.Access, Engine.Load on a
+# cached line, PMU.MeasureOnceInto steady state) must stay at 0 allocs/op.
+allocgate:
+	$(GO) test -run 'ZeroAlloc' ./internal/march/... ./internal/hpc
+
+# Fast hot-path smoke: catches order-of-magnitude regressions in seconds.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess$$|BenchmarkClassifyMNIST$$' -benchtime=100x .
+
 # Regenerate the golden end-to-end evaluation and attack reports after a
 # *deliberate* behavior change (review the diff before committing it).
 golden:
 	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport' -update .
 
-ci: vet build race bench
+ci: vet build race allocgate benchsmoke bench

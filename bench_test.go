@@ -517,6 +517,7 @@ func benchClassify(b *testing.B, d Dataset) {
 		b.Fatal(err)
 	}
 	imgs := pools[1]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Target.Classify(imgs[i%len(imgs)]); err != nil {
@@ -533,9 +534,39 @@ func BenchmarkCacheAccess(b *testing.B) {
 	for i := range addrs {
 		addrs[i] = uint64(rng.Intn(1 << 20))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Access(mem.Addr(addrs[i%len(addrs)]), false)
+	}
+}
+
+// BenchmarkEngineLoadHot measures the engine's same-line fast path: the
+// cost of a load that re-touches the line the previous access hit.
+func BenchmarkEngineLoadHot(b *testing.B) {
+	eng, err := march.NewEngine(march.Config{Hierarchy: instrument.SimHierarchy()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Load(0x1000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Load(0x1000, 4)
+	}
+}
+
+// BenchmarkEngineLoadRange measures the batched sequential element walk
+// (one cache-line lookup per 16 four-byte elements).
+func BenchmarkEngineLoadRange(b *testing.B) {
+	eng, err := march.NewEngine(march.Config{Hierarchy: instrument.SimHierarchy()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.LoadRange(0x1000, 4, 256) // 1 KiB walk, L1-resident
 	}
 }
 
@@ -548,6 +579,7 @@ func BenchmarkBranchPredict(b *testing.B) {
 	for i := range pattern {
 		pattern[i] = rng.Float64() < 0.7
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Record(uint64(i%256)*4, pattern[i%len(pattern)])
@@ -571,7 +603,9 @@ func BenchmarkWelchTTest(b *testing.B) {
 	}
 }
 
-// BenchmarkPMUMeasure measures the measurement-interval overhead.
+// BenchmarkPMUMeasure measures the measurement-interval overhead on the
+// steady-state path the collection pipeline uses: a reused Profile through
+// MeasureOnceInto (0 allocs/op).
 func BenchmarkPMUMeasure(b *testing.B) {
 	eng, err := march.NewEngine(march.Config{})
 	if err != nil {
@@ -584,9 +618,12 @@ func BenchmarkPMUMeasure(b *testing.B) {
 	if err := pmu.Program(EvCacheMisses, EvBranches); err != nil {
 		b.Fatal(err)
 	}
+	prof := make(hpc.Profile, 2)
+	work := func() { eng.Ops(100) }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pmu.MeasureOnce(func() { eng.Ops(100) }); err != nil {
+		if err := pmu.MeasureOnceInto(prof, work); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repository's benchmark-trajectory JSON (BENCH_PR<N>.json). Each bench
+// line becomes one entry keyed by the benchmark name (GOMAXPROCS suffix
+// stripped), recording ns/op, B/op, allocs/op and any custom metrics
+// (accuracy, template_acc, ...). Repeated -count runs of the same bench
+// are averaged.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchmem . | go run ./cmd/benchjson -pr 3 > BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's aggregated measurements.
+type Entry struct {
+	Runs       int                `json:"runs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BPerOp     float64            `json:"b_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the trajectory snapshot for one PR.
+type File struct {
+	PR        int               `json:"pr,omitempty"`
+	GoVersion string            `json:"go_version"`
+	GoOS      string            `json:"goos"`
+	GoArch    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Benches   map[string]*Entry `json:"benches"`
+}
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number recorded in the snapshot")
+	flag.Parse()
+
+	out := File{
+		PR:        *pr,
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benches:   map[string]*Entry{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		agg, seen := out.Benches[name]
+		if !seen {
+			out.Benches[name] = e
+			continue
+		}
+		// Average repeated runs (-count>1) weighted equally per run.
+		n := float64(agg.Runs)
+		agg.NsPerOp = (agg.NsPerOp*n + e.NsPerOp) / (n + 1)
+		agg.BPerOp = (agg.BPerOp*n + e.BPerOp) / (n + 1)
+		agg.AllocsOp = (agg.AllocsOp*n + e.AllocsOp) / (n + 1)
+		for k, v := range e.Metrics {
+			if agg.Metrics == nil {
+				agg.Metrics = map[string]float64{}
+			}
+			agg.Metrics[k] = (agg.Metrics[k]*n + v) / (n + 1)
+		}
+		agg.Iterations += e.Iterations
+		agg.Runs++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `BenchmarkName-8   N   12.3 ns/op   4 B/op ...` line.
+func parseLine(line string) (string, *Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix, keep sub-benchmark paths.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", nil, false
+	}
+	e := &Entry{Runs: 1, Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BPerOp = v
+		case "allocs/op":
+			e.AllocsOp = v
+		case "MB/s":
+			// not tracked
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	return name, e, true
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, e, ok := parseLine("BenchmarkClassifyMNIST-8 \t 2204\t   1097791 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "ClassifyMNIST" {
+		t.Fatalf("name = %q", name)
+	}
+	if e.Iterations != 2204 || e.NsPerOp != 1097791 || e.BPerOp != 0 || e.AllocsOp != 0 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestParseLineSubBenchAndMetrics(t *testing.T) {
+	name, e, ok := parseLine("BenchmarkAttackStage/workers=1         \t       3\t 526251072 ns/op\t         0.3250 knn_acc\t         0.3250 template_acc\t18916125 B/op\t   11772 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "AttackStage/workers=1" {
+		t.Fatalf("name = %q", name)
+	}
+	if e.Metrics["knn_acc"] != 0.325 || e.Metrics["template_acc"] != 0.325 {
+		t.Fatalf("metrics = %v", e.Metrics)
+	}
+	if e.BPerOp != 18916125 || e.AllocsOp != 11772 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	if _, _, ok := parseLine("ok  \trepro\t13.023s"); ok {
+		t.Fatal("non-bench line accepted")
+	}
+	if _, _, ok := parseLine("BenchmarkBroken notanumber"); ok {
+		t.Fatal("unparseable iteration count accepted")
+	}
+}

@@ -161,6 +161,67 @@ func TestGoldenReport(t *testing.T) {
 	}
 }
 
+// TestGoldenReportByteInvariantAcrossWorkers is the counter-invariance
+// regression for the optimized simulation hot path: the exact golden
+// campaign is executed at workers=1 and workers=8 and both serialized
+// reports must be byte-for-byte identical to each other and pass the
+// golden comparison. Any fast path that changed a single simulated counter
+// — a memo replay, a batched range, a reused buffer — fails here.
+func TestGoldenReportByteInvariantAcrossWorkers(t *testing.T) {
+	s, err := NewScenario(ScenarioConfig{
+		Dataset: DatasetMNIST,
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marshal := func(workers int) []byte {
+		rep, err := s.Evaluate(EvalConfig{
+			Classes:      []int{1, 2},
+			RunsPerClass: 60,
+			Workers:      workers,
+			Seed:         17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(toGolden(rep), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	one, eight := marshal(1), marshal(8)
+	if string(one) != string(eight) {
+		t.Fatalf("workers=1 and workers=8 serialized reports differ:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", one, eight)
+	}
+	// Both must also reproduce the committed golden file (modulo the FP
+	// rounding tolerance the golden comparison allows).
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var want goldenReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	var got goldenReport
+	if err := json.Unmarshal(one, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Alarms != want.Alarms || len(got.Tests) != len(want.Tests) {
+		t.Fatalf("report shape diverged from golden: alarms %d/%d, tests %d/%d",
+			got.Alarms, want.Alarms, len(got.Tests), len(want.Tests))
+	}
+	for i := range want.Tests {
+		g, w := got.Tests[i], want.Tests[i]
+		if g.Event != w.Event || g.ClassA != w.ClassA || g.ClassB != w.ClassB ||
+			!closeEnough(g.T, w.T) || !closeEnough(g.P, w.P) || g.Significant != w.Significant {
+			t.Fatalf("test %d diverged from golden: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
 // TestGoldenReportWorkerInvariance re-runs the golden campaign with a
 // different worker count and asserts the exact same statistics — the
 // public-API form of the pipeline's determinism guarantee.

@@ -94,15 +94,9 @@ func (ev *Evaluator) PlanShards(perClass map[int][]*tensor.Tensor, rootSeed int6
 	return shards, nil
 }
 
-// CollectShardProfiles executes one shard on target and returns the raw
-// per-run HPC profiles in run order — the labelled observations the attack
-// stage fits and scores on. It cold-resets the simulated core (so
-// cache/predictor state from other shards cannot bleed in), runs the
-// configured warm-up on the shard's own pool, then measures Count
-// classifications starting at run index Start. Run index r always maps to
-// Pool[r%len(Pool)], so the image sequence is independent of the sharding
-// granularity. The context is checked between classifications.
-func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh Shard) ([]hpc.Profile, error) {
+// prepareShard validates the shard, attaches and programs a PMU, and runs
+// the cold-reset + warm-up discipline shared by both collection forms.
+func (ev *Evaluator) prepareShard(ctx context.Context, target Target, sh Shard) (*hpc.PMU, error) {
 	if target == nil {
 		return nil, fmt.Errorf("core: nil target")
 	}
@@ -128,18 +122,35 @@ func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh
 			return nil, fmt.Errorf("core: warm-up classification: %w", err)
 		}
 	}
+	return pmu, nil
+}
 
+// CollectShardProfiles executes one shard on target and returns the raw
+// per-run HPC profiles in run order — the labelled observations the attack
+// stage fits and scores on. It cold-resets the simulated core (so
+// cache/predictor state from other shards cannot bleed in), runs the
+// configured warm-up on the shard's own pool, then measures Count
+// classifications starting at run index Start. Run index r always maps to
+// Pool[r%len(Pool)], so the image sequence is independent of the sharding
+// granularity. The context is checked between classifications.
+func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh Shard) ([]hpc.Profile, error) {
+	pmu, err := ev.prepareShard(ctx, target, sh)
+	if err != nil {
+		return nil, err
+	}
 	profs := make([]hpc.Profile, 0, sh.Count)
+	var (
+		img         *tensor.Tensor
+		classifyErr error
+	)
+	work := func() { _, classifyErr = target.Classify(img) }
 	for run := sh.Start; run < sh.Start+sh.Count; run++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		img := sh.Pool[run%len(sh.Pool)]
-		var classifyErr error
-		prof, err := pmu.MeasureOnce(func() {
-			_, classifyErr = target.Classify(img)
-		})
-		if err != nil {
+		img = sh.Pool[run%len(sh.Pool)]
+		prof := make(hpc.Profile, len(ev.cfg.Events))
+		if err := pmu.MeasureOnceInto(prof, work); err != nil {
 			return nil, err
 		}
 		if classifyErr != nil {
@@ -151,10 +162,13 @@ func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh
 }
 
 // CollectShard executes one shard on target (see CollectShardProfiles for
-// the collection discipline) and transposes the per-run profiles into
+// the collection discipline) and writes the observations directly into
 // per-event distributions — the shape the hypothesis-test stage consumes.
+// Unlike CollectShardProfiles it retains no per-run profiles: the shard's
+// worker reuses a single preallocated Profile and the preallocated sample
+// buffers, so the measure loop performs no allocations.
 func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) (*Distributions, error) {
-	profs, err := ev.CollectShardProfiles(ctx, target, sh)
+	pmu, err := ev.prepareShard(ctx, target, sh)
 	if err != nil {
 		return nil, err
 	}
@@ -164,11 +178,28 @@ func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) 
 		Samples: map[march.Event]map[int][]float64{},
 	}
 	for _, e := range ev.cfg.Events {
-		xs := make([]float64, len(profs))
-		for i, p := range profs {
-			xs[i] = p.Get(e)
+		d.Samples[e] = map[int][]float64{sh.Class: make([]float64, sh.Count)}
+	}
+	prof := make(hpc.Profile, len(ev.cfg.Events))
+	var (
+		img         *tensor.Tensor
+		classifyErr error
+	)
+	work := func() { _, classifyErr = target.Classify(img) }
+	for run := sh.Start; run < sh.Start+sh.Count; run++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		d.Samples[e] = map[int][]float64{sh.Class: xs}
+		img = sh.Pool[run%len(sh.Pool)]
+		if err := pmu.MeasureOnceInto(prof, work); err != nil {
+			return nil, err
+		}
+		if classifyErr != nil {
+			return nil, fmt.Errorf("core: classification failed: %w", classifyErr)
+		}
+		for _, e := range ev.cfg.Events {
+			d.Samples[e][sh.Class][run-sh.Start] = prof.Get(e)
+		}
 	}
 	return d, nil
 }

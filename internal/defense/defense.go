@@ -101,8 +101,12 @@ func New(net *nn.Network, engine *march.Engine, cfg Config) (*Hardened, error) {
 		if h.lines <= 0 {
 			h.lines = 2048
 		}
-		// A dedicated scratch buffer the dummy loads sweep over; sized at
-		// 4× the LLC so sweeps actually generate misses.
+		// A scratch buffer the dummy loads sweep over; sized at 4× the LLC
+		// so sweeps actually generate misses. It lands at the classifier's
+		// activation-scratch base and shares simulated addresses with it —
+		// the same aliasing the old per-classification arena reset produced
+		// — which is fine: the sweep only needs deterministic addresses
+		// that thrash the cache, not exclusive ownership.
 		llc := engine.Hierarchy().Last().Config().Size
 		region, err := engine.Arena().Alloc("defense.noise", llc*4)
 		if err != nil {

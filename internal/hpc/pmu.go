@@ -55,11 +55,19 @@ func (p Profile) Vector(order []march.Event) []float64 {
 // schedules requested events onto a limited set of counter registers,
 // rotating groups in round-robin time slices like perf, and scales counts
 // by enabled/running time.
+//
+// The measure path is allocation-free in steady state: per-event scratch
+// lives in fixed arrays on the PMU, and the *Into variants write results
+// into a caller-provided Profile, so campaign loops (the pipeline's shard
+// workers) can reuse one Profile across thousands of measurements.
 type PMU struct {
 	engine    *march.Engine
 	registers int
 	events    []march.Event
 	groups    [][]march.Event
+	// Scratch reused across Measure calls (indexed by event id).
+	raw     [march.NumEvents]float64
+	enabled [march.NumEvents]int
 }
 
 // NewPMU creates a PMU with the given number of programmable registers
@@ -119,18 +127,31 @@ func (p *PMU) Multiplexed() bool { return len(p.groups) > 1 }
 // slices must be ≥ the number of groups; pass 1 plus a single-call
 // workload when not multiplexed.
 func (p *PMU) Measure(slices int, workload func(slice int)) (Profile, error) {
+	prof := make(Profile, len(p.events))
+	if err := p.MeasureInto(prof, slices, workload); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// MeasureInto is Measure writing the result into a caller-provided
+// Profile. After the first call with a given programming, re-using the
+// same Profile makes the measure path allocation-free (the keys already
+// exist; values are overwritten).
+func (p *PMU) MeasureInto(prof Profile, slices int, workload func(slice int)) error {
 	if len(p.events) == 0 {
-		return nil, fmt.Errorf("hpc: Measure before Program")
+		return fmt.Errorf("hpc: Measure before Program")
 	}
 	if slices <= 0 {
-		return nil, fmt.Errorf("hpc: slices must be positive, got %d", slices)
+		return fmt.Errorf("hpc: slices must be positive, got %d", slices)
 	}
 	if len(p.groups) > 1 && slices < len(p.groups) {
-		return nil, fmt.Errorf("hpc: %d slices cannot rotate %d multiplex groups", slices, len(p.groups))
+		return fmt.Errorf("hpc: %d slices cannot rotate %d multiplex groups", slices, len(p.groups))
 	}
-	prof := Profile{}
-	enabled := map[march.Event]int{}
-	raw := map[march.Event]float64{}
+	for _, e := range p.events {
+		p.raw[e] = 0
+		p.enabled[e] = 0
+	}
 	for s := 0; s < slices; s++ {
 		group := p.groups[s%len(p.groups)]
 		start := p.engine.Counts()
@@ -138,40 +159,69 @@ func (p *PMU) Measure(slices int, workload func(slice int)) (Profile, error) {
 		end := p.engine.Counts()
 		delta := end.Sub(start)
 		for _, e := range group {
-			raw[e] += float64(delta.Get(e))
-			enabled[e]++
+			p.raw[e] += float64(delta.Get(e))
+			p.enabled[e]++
 		}
 	}
 	for _, e := range p.events {
-		n := enabled[e]
+		n := p.enabled[e]
 		if n == 0 {
-			return nil, fmt.Errorf("hpc: event %s never scheduled (slices=%d, groups=%d)", e, slices, len(p.groups))
+			return fmt.Errorf("hpc: event %s never scheduled (slices=%d, groups=%d)", e, slices, len(p.groups))
 		}
-		prof[e] = raw[e] * float64(slices) / float64(n)
+		prof[e] = p.raw[e] * float64(slices) / float64(n)
 	}
-	// Apply measurement noise once per interval, mirroring a real system
-	// where the reading itself is jittered.
-	if noise := p.engine.Noise(); noise != nil {
-		var c march.Counts
-		for _, e := range p.events {
-			c[e] = uint64(prof[e])
-		}
-		noise.Apply(&c)
-		for _, e := range p.events {
-			prof[e] = float64(c.Get(e))
-		}
+	p.applyNoise(prof)
+	return nil
+}
+
+// applyNoise applies measurement noise once per interval, mirroring a real
+// system where the reading itself is jittered.
+func (p *PMU) applyNoise(prof Profile) {
+	noise := p.engine.Noise()
+	if noise == nil {
+		return
 	}
-	return prof, nil
+	var c march.Counts
+	for _, e := range p.events {
+		c[e] = uint64(prof[e])
+	}
+	noise.Apply(&c)
+	for _, e := range p.events {
+		prof[e] = float64(c.Get(e))
+	}
 }
 
 // MeasureOnce is the common single-interval form: it observes one call of
 // workload with no multiplex rotation error when enough registers exist.
 func (p *PMU) MeasureOnce(workload func()) (Profile, error) {
+	prof := make(Profile, len(p.events))
+	if err := p.MeasureOnceInto(prof, workload); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// MeasureOnceInto is MeasureOnce writing into a caller-provided Profile —
+// the zero-allocation steady-state form the collection pipeline uses (one
+// Profile reused across a shard's runs). The observed counts are identical
+// to MeasureOnce's: a single interval needs no multiplex scaling.
+func (p *PMU) MeasureOnceInto(prof Profile, workload func()) error {
+	if len(p.events) == 0 {
+		return fmt.Errorf("hpc: Measure before Program")
+	}
 	if len(p.groups) > 1 {
-		return nil, fmt.Errorf("hpc: %d events exceed %d registers; use Measure with ≥%d slices",
+		return fmt.Errorf("hpc: %d events exceed %d registers; use Measure with ≥%d slices",
 			len(p.events), p.registers, len(p.groups))
 	}
-	return p.Measure(1, func(int) { workload() })
+	start := p.engine.Counts()
+	workload()
+	end := p.engine.Counts()
+	delta := end.Sub(start)
+	for _, e := range p.events {
+		prof[e] = float64(delta.Get(e))
+	}
+	p.applyNoise(prof)
+	return nil
 }
 
 // FormatIndian renders n with Indian digit grouping (last three digits,

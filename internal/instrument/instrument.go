@@ -25,6 +25,27 @@
 // per-run jitter) so absolute magnitudes and within-class spread behave
 // like the paper's, while the class-dependent signal comes from the truly
 // simulated kernels.
+//
+// # Hot path
+//
+// One evaluation campaign replays thousands of classifications, so the
+// instrumented kernels are built for throughput without changing a single
+// simulated counter:
+//
+//   - layer dispatch is a closure bound at construction (no per-layer
+//     string switch in Classify);
+//   - activation regions and output buffers are computed once at
+//     construction and reused — Classify performs no arena allocation, no
+//     arena reset and no Go heap allocation;
+//   - contiguous element walks (conv/dense zero-runs, the ReLU sweep) are
+//     emitted through the engine's line-granular batched range API
+//     (Engine.LoadRange/StoreRange), and the convolution scatter defers its
+//     pure-counter ops (ALU work, loop back-edges) to one flush per element.
+//
+// Reordering only ever happens between accesses to the *same* cache line
+// (plus branch events, which touch no cache state), so cache, TLB,
+// predictor and counter state stay bit-identical to the element-by-element
+// emission; the golden end-to-end reports pin this.
 package instrument
 
 import (
@@ -122,15 +143,26 @@ func NewEngine(noiseSeed int64) (*march.Engine, error) {
 	})
 }
 
+// layerRun executes one layer: it consumes the current activation tensor
+// and region and produces the next pair. Bound per plan at construction —
+// the typed replacement for the old per-Classify string switch.
+type layerRun func(p *layerPlan, cur *tensor.Tensor, curRegion mem.Region) (*tensor.Tensor, mem.Region, error)
+
 // layerPlan caches per-layer instrumentation state.
 type layerPlan struct {
-	kind    string // "conv", "relu", "pool", "flatten", "dense"
+	kind    string // "conv", "relu", "pool", "flatten", "dense" (reporting)
+	run     layerRun
 	conv    *nn.Conv2D
 	dense   *nn.Dense
 	inShape []int
 	pc      uint64 // base simulated PC for this layer's branches
 	wRegion mem.Region
 	bRegion mem.Region
+	// Preallocated per-classification scratch, reused across runs: the
+	// simulated activation region (stable addresses, exactly where the old
+	// per-Classify arena allocations landed) and the Go-side output buffer.
+	outRegion mem.Region
+	out       *tensor.Tensor
 }
 
 // Classifier runs instrumented inference for one network on one engine.
@@ -140,6 +172,7 @@ type Classifier struct {
 	opts   Options
 	plans  []layerPlan
 	mark   mem.Region
+	input  mem.Region // preallocated simulated input region
 	rng    *rand.Rand
 }
 
@@ -156,7 +189,7 @@ func New(net *nn.Network, engine *march.Engine, opts Options) (*Classifier, erro
 		p := layerPlan{inShape: append([]int(nil), inShape...), pc: uint64(0x401000 + i*0x1000)}
 		switch lt := l.(type) {
 		case *nn.Conv2D:
-			p.kind = "conv"
+			p.kind, p.run = "conv", c.convLayer
 			p.conv = lt
 			w, err := arena.Alloc(lt.Name()+".filter", uint64(lt.Filter.Len())*4)
 			if err != nil {
@@ -168,7 +201,7 @@ func New(net *nn.Network, engine *march.Engine, opts Options) (*Classifier, erro
 			}
 			p.wRegion, p.bRegion = w, b
 		case *nn.Dense:
-			p.kind = "dense"
+			p.kind, p.run = "dense", c.denseLayer
 			p.dense = lt
 			w, err := arena.Alloc(lt.Name()+".w", uint64(lt.W.Len())*4)
 			if err != nil {
@@ -180,11 +213,11 @@ func New(net *nn.Network, engine *march.Engine, opts Options) (*Classifier, erro
 			}
 			p.wRegion, p.bRegion = w, b
 		case *nn.ReLU:
-			p.kind = "relu"
+			p.kind, p.run = "relu", c.reluLayer
 		case *nn.MaxPool2:
-			p.kind = "pool"
+			p.kind, p.run = "pool", c.poolLayer
 		case *nn.Flatten:
-			p.kind = "flatten"
+			p.kind, p.run = "flatten", flattenLayer
 		default:
 			return nil, fmt.Errorf("instrument: unsupported layer %s", l.Name())
 		}
@@ -192,7 +225,72 @@ func New(net *nn.Network, engine *march.Engine, opts Options) (*Classifier, erro
 		inShape = l.OutShape()
 	}
 	c.mark = arena.Mark()
+	c.planScratch()
 	return c, nil
+}
+
+// planScratch lays out the per-classification activation regions above the
+// weight mark — byte-for-byte where the per-Classify arena alloc/reset
+// cycle used to place them — and allocates the reusable Go-side output
+// buffers. Classify itself then runs allocation-free.
+//
+// The scratch regions are deliberately NOT registered in the arena: the
+// arena's bump pointer stays at the weight mark, so anything a caller
+// allocates after construction (e.g. the defense package's noise-sweep
+// buffer) lands at the mark and shares simulated addresses with the
+// activation scratch. That aliasing is the historical steady-state
+// behavior of the alloc/reset cycle (every post-reset classification
+// reused those addresses) and is deterministic; registering the scratch
+// would shift later allocations upward and change simulated cache set
+// mappings — i.e. counters — for such targets.
+func (c *Classifier) planScratch() {
+	align := c.engine.Arena().Align()
+	next := c.mark.Base
+	scratch := func(name string, size uint64) mem.Region {
+		base := mem.Addr((uint64(next) + align - 1) &^ (align - 1))
+		next = base + mem.Addr(size)
+		return mem.Region{Name: name, Base: base, Size: size}
+	}
+	c.input = scratch("input", uint64(tensor.Volume(c.net.InShape))*4)
+	var prev *tensor.Tensor // previous layer's reused buffer (nil = raw input)
+	for i := range c.plans {
+		p := &c.plans[i]
+		switch p.kind {
+		case "conv":
+			g := p.conv.Geom
+			p.out = tensor.New(g.OutH(), g.OutW(), g.OutC)
+			p.outRegion = scratch(p.conv.Name()+".out", uint64(p.out.Len())*4)
+		case "relu":
+			p.out = tensor.New(p.inShape...)
+		case "pool":
+			h, w, ch := p.inShape[0], p.inShape[1], p.inShape[2]
+			p.out = tensor.New(h/2, w/2, ch)
+			p.outRegion = scratch("pool.out", uint64(p.out.Len())*4)
+		case "dense":
+			p.out = tensor.New(p.dense.Out)
+			p.outRegion = scratch(p.dense.Name()+".out", uint64(p.dense.Out)*4)
+		case "flatten":
+			// When the input buffer is fixed (any non-first position), the
+			// reshaped header can be built once here; flattenLayer then
+			// returns it without allocating.
+			if prev != nil {
+				if r, err := prev.Reshape(prev.Len()); err == nil {
+					p.out = r
+				}
+			}
+		}
+		prev = p.out
+	}
+}
+
+// flattenLayer reshapes without touching simulated memory. The reshaped
+// header is precomputed when the input buffer is fixed (see planScratch).
+func flattenLayer(p *layerPlan, cur *tensor.Tensor, curRegion mem.Region) (*tensor.Tensor, mem.Region, error) {
+	if p.out != nil {
+		return p.out, curRegion, nil
+	}
+	out, err := cur.Reshape(cur.Len())
+	return out, curRegion, err
 }
 
 // Engine returns the underlying simulated core.
@@ -205,8 +303,27 @@ func (c *Classifier) Options() Options { return c.opts }
 // class. Hardware activity lands on the classifier's engine; observe it
 // with an hpc.PMU attached to that engine.
 func (c *Classifier) Classify(img *tensor.Tensor) (int, error) {
+	cur, curRegion, err := c.begin(img)
+	if err != nil {
+		return 0, err
+	}
+	for i := range c.plans {
+		p := &c.plans[i]
+		cur, curRegion, err = p.run(p, cur, curRegion)
+		if err != nil {
+			return 0, fmt.Errorf("instrument: layer %d (%s): %w", i, p.kind, err)
+		}
+	}
+	pred := c.argmax(cur, curRegion)
+	c.applyRuntime()
+	return pred, nil
+}
+
+// begin validates the input, applies cold-start semantics and streams the
+// input image into its (preallocated) simulated region.
+func (c *Classifier) begin(img *tensor.Tensor) (*tensor.Tensor, mem.Region, error) {
 	if img.Len() != tensor.Volume(c.net.InShape) {
-		return 0, fmt.Errorf("instrument: input volume %d, want %d", img.Len(), tensor.Volume(c.net.InShape))
+		return nil, mem.Region{}, fmt.Errorf("instrument: input volume %d, want %d", img.Len(), tensor.Volume(c.net.InShape))
 	}
 	if c.opts.ColdStart {
 		// Drop micro-architectural state but preserve event counters: a
@@ -215,38 +332,9 @@ func (c *Classifier) Classify(img *tensor.Tensor) (int, error) {
 		c.engine.Hierarchy().Invalidate()
 		c.engine.Predictor().Reset()
 	}
-	arena := c.engine.Arena()
-	defer arena.Reset(c.mark)
-
-	cur := img
-	curRegion, err := arena.Alloc("input", uint64(img.Len())*4)
-	if err != nil {
-		return 0, err
-	}
 	// The input arrives from the user: stream it into simulated memory.
-	c.engine.Store(curRegion.Base, curRegion.Size)
-
-	for i := range c.plans {
-		p := &c.plans[i]
-		switch p.kind {
-		case "conv":
-			cur, curRegion, err = c.convLayer(p, cur, curRegion)
-		case "relu":
-			cur, err = c.reluLayer(p, cur, curRegion)
-		case "pool":
-			cur, curRegion, err = c.poolLayer(p, cur, curRegion)
-		case "flatten":
-			cur, err = cur.Reshape(cur.Len())
-		case "dense":
-			cur, curRegion, err = c.denseLayer(p, cur, curRegion)
-		}
-		if err != nil {
-			return 0, fmt.Errorf("instrument: layer %d (%s): %w", i, p.kind, err)
-		}
-	}
-	pred := c.argmax(cur, curRegion)
-	c.applyRuntime()
-	return pred, nil
+	c.engine.Store(c.input.Base, c.input.Size)
+	return img, c.input, nil
 }
 
 // applyRuntime injects the per-classification framework overhead.
@@ -268,66 +356,115 @@ func (c *Classifier) applyRuntime() {
 	c.engine.Background(j(rt.Ops), j(rt.Branches), j(rt.BranchMisses), j(rt.CacheRefs), j(rt.CacheMisses))
 }
 
-// convLayer runs the input-stationary sparsity-skipping convolution.
+// convLayer runs the input-stationary sparsity-skipping convolution. The
+// input walk is flat-sequential; runs of zero activations (the skipped
+// elements) are emitted as line-granular batched loads, and each scattered
+// element's weight/output row walk goes out as one trace batch.
 func (c *Classifier) convLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Region) (*tensor.Tensor, mem.Region, error) {
 	g := p.conv.Geom
 	oh, ow, oc := g.OutH(), g.OutW(), g.OutC
-	out := tensor.New(oh, ow, oc)
-	outRegion, err := c.engine.Arena().Alloc(p.conv.Name()+".out", uint64(out.Len())*4)
-	if err != nil {
-		return nil, mem.Region{}, err
-	}
+	out := p.out
+	clear(out.Data)
+	outRegion := p.outRegion
 	eng := c.engine
 	filt := p.conv.Filter.Data
+	inData := in.Data
 	rowBytes := uint64(oc) * 4
+	skip := c.opts.SparsitySkip && !c.opts.ConstantTime
+	ct := c.opts.ConstantTime
 
 	// Loop-overhead branches: one back-edge per input element (fixed).
-	eng.PredictableBranches(uint64(g.InH * g.InW * g.InC))
+	total := g.InH * g.InW * g.InC
+	eng.PredictableBranches(uint64(total))
 
-	for iy := 0; iy < g.InH; iy++ {
-		for ix := 0; ix < g.InW; ix++ {
-			for ic := 0; ic < g.InC; ic++ {
-				inIdx := (iy*g.InW+ix)*g.InC + ic
-				eng.Load(inRegion.Base+mem.Addr(inIdx*4), 4)
-				v := in.Data[inIdx]
-				zero := v == 0
-				if !c.opts.ConstantTime {
-					eng.Branch(p.pc, zero)
-				}
-				if zero && c.opts.SparsitySkip && !c.opts.ConstantTime {
+	// (iy, ix, ic) track inIdx incrementally; zero-runs re-derive them once
+	// at the run end instead of dividing per element.
+	iy, ix, ic := 0, 0, 0
+	for inIdx := 0; inIdx < total; {
+		v := inData[inIdx]
+		if v == 0 && skip {
+			// Zero run: the skipped elements issue only their activation
+			// load and zero-test branch, so the loads batch line-granularly
+			// and the (all-taken) branches replay in element order.
+			runEnd := inIdx + 1
+			for runEnd < total && inData[runEnd] == 0 {
+				runEnd++
+			}
+			n := runEnd - inIdx
+			eng.LoadRange(inRegion.Base+mem.Addr(inIdx*4), 4, n)
+			for j := 0; j < n; j++ {
+				eng.Branch(p.pc, true)
+			}
+			inIdx = runEnd
+			if inIdx < total {
+				ic = inIdx % g.InC
+				rest := inIdx / g.InC
+				ix = rest % g.InW
+				iy = rest / g.InW
+			}
+			continue
+		}
+		eng.Load(inRegion.Base+mem.Addr(inIdx*4), 4)
+		if !ct {
+			eng.Branch(p.pc, v == 0)
+		}
+		// Scatter this input into every output it feeds. The row accesses
+		// stay in exact emission order (cache state depends on it); the
+		// pure-counter ops (ALU work, loop back-edges) commute with
+		// everything and are flushed once per element.
+		positions := uint64(0)
+		stride1 := g.Stride == 1
+		for ky := 0; ky < g.K; ky++ {
+			oy := iy + g.Pad - ky
+			if oy < 0 {
+				continue
+			}
+			if !stride1 {
+				if oy%g.Stride != 0 {
 					continue
 				}
-				// Scatter this input into every output it feeds.
-				for ky := 0; ky < g.K; ky++ {
-					oy := iy + g.Pad - ky
-					if oy < 0 || oy%g.Stride != 0 {
-						continue
-					}
-					oy /= g.Stride
-					if oy >= oh {
-						continue
-					}
-					for kx := 0; kx < g.K; kx++ {
-						ox := ix + g.Pad - kx
-						if ox < 0 || ox%g.Stride != 0 {
-							continue
-						}
-						ox /= g.Stride
-						if ox >= ow {
-							continue
-						}
-						wRow := ((ky*g.K+kx)*g.InC + ic) * oc
-						oRow := (oy*ow + ox) * oc
-						eng.Load(p.wRegion.Base+mem.Addr(wRow*4), rowBytes)
-						eng.Load(outRegion.Base+mem.Addr(oRow*4), rowBytes)
-						eng.Store(outRegion.Base+mem.Addr(oRow*4), rowBytes)
-						eng.Ops(uint64(2 * oc)) // mul + add per output channel
-						eng.PredictableBranches(1)
-						for j := 0; j < oc; j++ {
-							out.Data[oRow+j] += v * filt[wRow+j]
-						}
-					}
+				oy /= g.Stride
+			}
+			if oy >= oh {
+				continue
+			}
+			for kx := 0; kx < g.K; kx++ {
+				ox := ix + g.Pad - kx
+				if ox < 0 {
+					continue
 				}
+				if !stride1 {
+					if ox%g.Stride != 0 {
+						continue
+					}
+					ox /= g.Stride
+				}
+				if ox >= ow {
+					continue
+				}
+				wRow := ((ky*g.K+kx)*g.InC + ic) * oc
+				oRow := (oy*ow + ox) * oc
+				eng.Load(p.wRegion.Base+mem.Addr(wRow*4), rowBytes)
+				eng.Load(outRegion.Base+mem.Addr(oRow*4), rowBytes)
+				eng.Store(outRegion.Base+mem.Addr(oRow*4), rowBytes)
+				positions++
+				orow := out.Data[oRow : oRow+oc]
+				frow := filt[wRow : wRow+oc]
+				for j, f := range frow {
+					orow[j] += v * f
+				}
+			}
+		}
+		eng.Ops(positions * uint64(2*oc)) // mul + add per output channel
+		eng.PredictableBranches(positions)
+		inIdx++
+		ic++
+		if ic == g.InC {
+			ic = 0
+			ix++
+			if ix == g.InW {
+				ix = 0
+				iy++
 			}
 		}
 	}
@@ -348,41 +485,55 @@ func (c *Classifier) convLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Reg
 	return out, outRegion, nil
 }
 
-// reluLayer applies ReLU in place over the activation region.
-func (c *Classifier) reluLayer(p *layerPlan, in *tensor.Tensor, region mem.Region) (*tensor.Tensor, error) {
+// reluLayer applies ReLU in place over the activation region. The element
+// walk is contiguous, so loads (and, in constant-time mode, stores) are
+// emitted as line-granular batched ranges; sign-test branches and the
+// conditional stores replay in element order within each line.
+func (c *Classifier) reluLayer(p *layerPlan, in *tensor.Tensor, region mem.Region) (*tensor.Tensor, mem.Region, error) {
 	eng := c.engine
-	out := in.Clone()
-	eng.PredictableBranches(uint64(in.Len()))
-	for i, v := range out.Data {
-		addr := region.Base + mem.Addr(i*4)
-		eng.Load(addr, 4)
-		neg := v < 0
+	out := p.out
+	copy(out.Data, in.Data)
+	n := len(out.Data)
+	eng.PredictableBranches(uint64(n))
+	for start := 0; start < n; {
+		a := region.Base + mem.Addr(start*4)
+		run := int((64 - uint64(a)%64) / 4)
+		if run > n-start {
+			run = n - start
+		}
+		eng.LoadRange(a, 4, run)
 		if c.opts.ConstantTime {
-			// Branchless clamp: unconditional arithmetic + store.
-			eng.Ops(2)
-			eng.Store(addr, 4)
+			// Branchless clamp: unconditional arithmetic + store per element.
+			eng.Ops(uint64(2 * run))
+			eng.StoreRange(a, 4, run)
+			for i := start; i < start+run; i++ {
+				if out.Data[i] < 0 {
+					out.Data[i] = 0
+				}
+			}
 		} else {
-			eng.Branch(p.pc, neg)
-			if neg {
-				eng.Store(addr, 4)
+			for i := start; i < start+run; i++ {
+				neg := out.Data[i] < 0
+				eng.Branch(p.pc, neg)
+				if neg {
+					eng.Store(region.Base+mem.Addr(i*4), 4)
+					out.Data[i] = 0
+				}
 			}
 		}
-		if neg {
-			out.Data[i] = 0
-		}
+		start += run
 	}
-	return out, nil
+	return out, region, nil
 }
 
-// poolLayer is the 2×2 max pool with data-dependent compare branches.
+// poolLayer is the 2×2 max pool with data-dependent compare branches. The
+// window walk is strided, so it stays element-by-element and rides the
+// engine's same-line fast path for the in-line pairs.
 func (c *Classifier) poolLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Region) (*tensor.Tensor, mem.Region, error) {
 	h, w, ch := p.inShape[0], p.inShape[1], p.inShape[2]
 	oh, ow := h/2, w/2
-	out := tensor.New(oh, ow, ch)
-	outRegion, err := c.engine.Arena().Alloc("pool.out", uint64(out.Len())*4)
-	if err != nil {
-		return nil, mem.Region{}, err
-	}
+	out := p.out
+	outRegion := p.outRegion
 	eng := c.engine
 	eng.PredictableBranches(uint64(oh * ow * ch))
 	for oy := 0; oy < oh; oy++ {
@@ -415,25 +566,36 @@ func (c *Classifier) poolLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Reg
 }
 
 // denseLayer is the input-stationary fully connected kernel with row skip.
+// Like the convolution, runs of zero inputs batch their loads
+// line-granularly; non-zero inputs walk their weight row as before.
 func (c *Classifier) denseLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Region) (*tensor.Tensor, mem.Region, error) {
 	d := p.dense
-	out := tensor.New(d.Out)
-	outRegion, err := c.engine.Arena().Alloc(d.Name()+".out", uint64(d.Out)*4)
-	if err != nil {
-		return nil, mem.Region{}, err
-	}
+	out := p.out
+	clear(out.Data)
+	outRegion := p.outRegion
 	eng := c.engine
 	rowBytes := uint64(d.Out) * 4
+	skip := c.opts.SparsitySkip && !c.opts.ConstantTime
+	ct := c.opts.ConstantTime
 	eng.PredictableBranches(uint64(d.In))
-	for i := 0; i < d.In; i++ {
-		eng.Load(inRegion.Base+mem.Addr(i*4), 4)
+	for i := 0; i < d.In; {
 		v := in.Data[i]
-		zero := v == 0
-		if !c.opts.ConstantTime {
-			eng.Branch(p.pc, zero)
-		}
-		if zero && c.opts.SparsitySkip && !c.opts.ConstantTime {
+		if v == 0 && skip {
+			runEnd := i + 1
+			for runEnd < d.In && in.Data[runEnd] == 0 {
+				runEnd++
+			}
+			n := runEnd - i
+			eng.LoadRange(inRegion.Base+mem.Addr(i*4), 4, n)
+			for j := 0; j < n; j++ {
+				eng.Branch(p.pc, true)
+			}
+			i = runEnd
 			continue
+		}
+		eng.Load(inRegion.Base+mem.Addr(i*4), 4)
+		if !ct {
+			eng.Branch(p.pc, v == 0)
 		}
 		eng.Load(p.wRegion.Base+mem.Addr(i*d.Out*4), rowBytes)
 		eng.Ops(uint64(2 * d.Out))
@@ -441,6 +603,7 @@ func (c *Classifier) denseLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Re
 		for j, wv := range row {
 			out.Data[j] += v * wv
 		}
+		i++
 	}
 	eng.Load(p.bRegion.Base, p.bRegion.Size)
 	eng.Store(outRegion.Base, outRegion.Size)

@@ -25,39 +25,15 @@ type LayerCounts struct {
 // The runtime-overhead model is attributed to a pseudo-layer with index
 // -1 and kind "runtime".
 func (c *Classifier) ClassifyWithAttribution(img *tensor.Tensor) (int, []LayerCounts, error) {
-	if img.Len() != tensor.Volume(c.net.InShape) {
-		return 0, nil, fmt.Errorf("instrument: input volume %d, want %d", img.Len(), tensor.Volume(c.net.InShape))
-	}
-	if c.opts.ColdStart {
-		c.engine.Hierarchy().Invalidate()
-		c.engine.Predictor().Reset()
-	}
-	arena := c.engine.Arena()
-	defer arena.Reset(c.mark)
-
-	cur := img
-	curRegion, err := arena.Alloc("input", uint64(img.Len())*4)
+	cur, curRegion, err := c.begin(img)
 	if err != nil {
 		return 0, nil, err
 	}
-	c.engine.Store(curRegion.Base, curRegion.Size)
-
 	var attribution []LayerCounts
 	before := c.engine.Counts()
 	for i := range c.plans {
 		p := &c.plans[i]
-		switch p.kind {
-		case "conv":
-			cur, curRegion, err = c.convLayer(p, cur, curRegion)
-		case "relu":
-			cur, err = c.reluLayer(p, cur, curRegion)
-		case "pool":
-			cur, curRegion, err = c.poolLayer(p, cur, curRegion)
-		case "flatten":
-			cur, err = cur.Reshape(cur.Len())
-		case "dense":
-			cur, curRegion, err = c.denseLayer(p, cur, curRegion)
-		}
+		cur, curRegion, err = p.run(p, cur, curRegion)
 		if err != nil {
 			return 0, nil, fmt.Errorf("instrument: layer %d (%s): %w", i, p.kind, err)
 		}

@@ -214,22 +214,31 @@ type tournament struct {
 }
 
 func (t *tournament) Record(pc uint64, taken bool) bool {
-	idx := (pc >> 2) & t.mask
-	bIdx := (pc >> 2) & t.bim.mask
-	gIdx := t.gsh.predictIdx(pc)
-	bPred := t.bim.table[bIdx] >= 2
-	gPred := t.gsh.table[gIdx] >= 2
-	useG := t.chooser[idx] >= 2
+	key := pc >> 2
+	idx := key & t.mask
+	bIdx := key & t.bim.mask
+	gIdx := (key ^ t.gsh.history) & t.gsh.mask
+	bCtr := t.bim.table[bIdx]
+	gCtr := t.gsh.table[gIdx]
+	cCtr := t.chooser[idx]
+	bPred := bCtr >= 2
+	gPred := gCtr >= 2
 	pred := bPred
-	if useG {
+	if cCtr >= 2 {
 		pred = gPred
 	}
-	// Train components (their internal stats track component accuracy).
-	t.bim.Record(pc, taken)
-	t.gsh.Record(pc, taken)
+	// Train components inline — predictor state ends up exactly as
+	// bim.Record/gsh.Record would leave it, without paying the calls and
+	// the duplicate index computations on the hot path. The components'
+	// own stats are not maintained here: they are unexported and
+	// unobservable behind a tournament (its Stats() reports only the
+	// arbitrated outcome).
+	t.bim.table[bIdx] = bump(bCtr, taken)
+	t.gsh.table[gIdx] = bump(gCtr, taken)
+	t.gsh.history = ((t.gsh.history << 1) | b2u(taken)) & t.gsh.hmask
 	// Train chooser toward whichever component was right.
 	if bPred != gPred {
-		t.chooser[idx] = bump(t.chooser[idx], gPred == taken)
+		t.chooser[idx] = bump(cCtr, taken == gPred)
 	}
 	t.stats.Branches++
 	if pred != taken {
@@ -248,18 +257,18 @@ func (t *tournament) Reset() {
 }
 func (t *tournament) Kind() Kind { return Tournament }
 
+// bumpTab folds the 2-bit saturating counter transition into a lookup
+// (index = counter<<1 | taken): branchless on the predictor hot path.
+var bumpTab = [8]uint8{
+	0<<1 | 0: 0, 0<<1 | 1: 1,
+	1<<1 | 0: 0, 1<<1 | 1: 2,
+	2<<1 | 0: 1, 2<<1 | 1: 3,
+	3<<1 | 0: 2, 3<<1 | 1: 3,
+}
+
 // bump moves a 2-bit saturating counter toward taken/not-taken.
 func bump(c uint8, taken bool) uint8 {
-	if taken {
-		if c < 3 {
-			return c + 1
-		}
-		return 3
-	}
-	if c > 0 {
-		return c - 1
-	}
-	return 0
+	return bumpTab[uint64(c)<<1|b2u(taken)]
 }
 
 func b2u(b bool) uint64 {

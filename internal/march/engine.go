@@ -210,6 +210,7 @@ type Config struct {
 func DefaultTLB() *cache.Cache {
 	t, err := cache.New(cache.Config{
 		Name: "dTLB", Size: 64 * 4096, LineSize: 4096, Assoc: 4, Policy: cache.LRU,
+		AltLineMemo: true,
 	})
 	if err != nil {
 		panic(err) // static configuration; cannot fail
@@ -221,6 +222,7 @@ func DefaultTLB() *cache.Cache {
 // simulated process owns one Engine.
 type Engine struct {
 	caches *cache.Hierarchy
+	l1     *cache.Cache // caches.Levels[0], cached for the fast path
 	pred   branch.Predictor
 	btb    *branch.BTB
 	tlb    *cache.Cache
@@ -267,6 +269,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		e.arena = a
 	}
+	e.l1 = e.caches.Levels[0]
 	return e, nil
 }
 
@@ -290,30 +293,167 @@ func (e *Engine) Store(addr mem.Addr, size uint64) {
 	e.access(addr, size, true)
 }
 
+// lineSize is the simulated core's cache-line granularity for access
+// splitting (matches every configured hierarchy in this repo).
+const lineSize = 64
+
 func (e *Engine) access(addr mem.Addr, size uint64, write bool) {
-	line := uint64(64)
 	if size == 0 {
 		size = 1
 	}
-	depth := len(e.caches.Levels)
 	for off := uint64(0); off < size; {
+		a := addr + mem.Addr(off)
 		e.instructions++
-		// Address translation first: a dTLB miss costs a page walk.
-		if !e.tlb.Access(addr+mem.Addr(off), false) {
+		// Same-line short-circuit: when a falls in the line (and page) the
+		// previous access touched, the TLB and L1 hits are guaranteed, so
+		// the hierarchy walk and the stall accounting are skipped entirely.
+		// The memo replay updates counters and replacement state exactly as
+		// the full path's hits would.
+		if e.l1.MemoIs(a) && e.tlb.MemoIs(a) {
+			e.tlb.HitLastN(1, false)
+			e.l1.HitLastN(1, write)
+			off += lineSize - (uint64(a))%lineSize
+			continue
+		}
+		// Address translation first: a dTLB miss costs a page walk. A
+		// same-page repeat (the overwhelmingly common case) replays the
+		// guaranteed hit without the full lookup.
+		if e.tlb.MemoIs(a) {
+			e.tlb.HitLastN(1, false)
+		} else if !e.tlb.Access(a, false) {
 			e.extraCycles += e.timing.TLBMissPenalty
 		}
-		lvl := e.caches.Access(addr+mem.Addr(off), write)
-		switch {
-		case lvl == 0: // L1 hit, no extra stall
-		case lvl >= depth: // missed every level: memory access
-			e.extraCycles += e.timing.MemPenalty
-		case lvl == 1:
-			e.extraCycles += e.timing.L2HitPenalty
-		default:
-			e.extraCycles += e.timing.LLCHitPenalty
+		// L1 first (the common hit needs no stall accounting at all); only
+		// misses walk the deeper levels.
+		if !e.l1.Access(a, write) {
+			e.missWalk(a, write)
 		}
-		step := line - (uint64(addr)+off)%line
-		off += step
+		off += lineSize - (uint64(a))%lineSize
+	}
+}
+
+// missWalk resolves an L1 miss through the deeper levels, charging the
+// stall penalty of the level that finally hits (or memory).
+func (e *Engine) missWalk(a mem.Addr, write bool) {
+	levels := e.caches.Levels
+	for i := 1; i < len(levels); i++ {
+		if levels[i].Access(a, write) {
+			if i == 1 {
+				e.extraCycles += e.timing.L2HitPenalty
+			} else {
+				e.extraCycles += e.timing.LLCHitPenalty
+			}
+			return
+		}
+	}
+	e.extraCycles += e.timing.MemPenalty
+}
+
+// LoadRange simulates count sequential loads of elem bytes each, starting
+// at base and striding by elem — counter-identical to count individual
+// Load(base+i*elem, elem) calls. Elements that share a cache line are
+// replayed through the batched hit path (one lookup per line instead of
+// one per element), which is what makes streaming kernel walks cheap.
+func (e *Engine) LoadRange(base mem.Addr, elem uint64, count int) {
+	e.rangeAccess(base, elem, count, false)
+}
+
+// StoreRange is LoadRange for stores.
+func (e *Engine) StoreRange(base mem.Addr, elem uint64, count int) {
+	e.rangeAccess(base, elem, count, true)
+}
+
+func (e *Engine) rangeAccess(base mem.Addr, elem uint64, count int, write bool) {
+	if elem == 0 {
+		// Zero-size accesses do not advance; replay them individually.
+		for i := 0; i < count; i++ {
+			e.access(base, 0, write)
+		}
+		return
+	}
+	i := 0
+	for i < count {
+		a := base + mem.Addr(uint64(i)*elem)
+		within := lineSize - uint64(a)%lineSize
+		if elem > within {
+			// Element crosses a line boundary: take the exact multi-piece
+			// path for it.
+			e.access(a, elem, write)
+			i++
+			continue
+		}
+		n := int(within / elem) // elements wholly inside this line
+		if n > count-i {
+			n = count - i
+		}
+		e.access(a, elem, write) // first element: full TLB + hierarchy path
+		if n > 1 {
+			k := uint64(n - 1)
+			if e.l1.MemoIs(a) && e.tlb.MemoIs(a) {
+				// The line is now resident (hit or just installed): the
+				// remaining elements are guaranteed TLB + L1 hits.
+				e.instructions += k
+				e.tlb.HitLastN(k, false)
+				e.l1.HitLastN(k, write)
+			} else {
+				// A level with prefetching (or an exotic config) moved the
+				// memo: fall back to exact per-element replay.
+				for j := 1; j < n; j++ {
+					e.access(a+mem.Addr(uint64(j)*elem), elem, write)
+				}
+			}
+		}
+		i += n
+	}
+}
+
+// OpKind discriminates batched trace operations.
+type OpKind uint8
+
+// Trace operation kinds.
+const (
+	OpLoad OpKind = iota
+	OpStore
+	OpLoadRange
+	OpStoreRange
+	OpBranch
+	OpPredictable
+	OpOps
+)
+
+// TraceOp is one replayable engine operation. Batching ops lets
+// instrumented kernels hand the engine whole loop bodies at once instead
+// of crossing a call boundary per simulated instruction.
+type TraceOp struct {
+	Kind  OpKind
+	Addr  mem.Addr // Load/Store/ranges
+	Size  uint64   // access size; element size for ranges
+	N     uint64   // range element count, Predictable/Ops amount
+	PC    uint64   // Branch program counter
+	Taken bool     // Branch direction
+}
+
+// AccessBatch replays ops in order. It is semantically identical to
+// issuing the corresponding Engine calls one by one.
+func (e *Engine) AccessBatch(ops []TraceOp) {
+	for idx := range ops {
+		op := &ops[idx]
+		switch op.Kind {
+		case OpLoad:
+			e.access(op.Addr, op.Size, false)
+		case OpStore:
+			e.access(op.Addr, op.Size, true)
+		case OpLoadRange:
+			e.rangeAccess(op.Addr, op.Size, int(op.N), false)
+		case OpStoreRange:
+			e.rangeAccess(op.Addr, op.Size, int(op.N), true)
+		case OpBranch:
+			e.Branch(op.PC, op.Taken)
+		case OpPredictable:
+			e.PredictableBranches(op.N)
+		case OpOps:
+			e.Ops(op.N)
+		}
 	}
 }
 

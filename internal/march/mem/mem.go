@@ -99,6 +99,9 @@ func (a *Arena) ResetAll() {
 // pointer (including alignment padding).
 func (a *Arena) Used() uint64 { return uint64(a.next - a.base) }
 
+// Align returns the arena's allocation alignment.
+func (a *Arena) Align() uint64 { return a.align }
+
 // Regions returns a copy of the live allocations in address order.
 func (a *Arena) Regions() []Region {
 	out := append([]Region(nil), a.regions...)

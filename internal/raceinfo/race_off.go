@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package raceinfo reports whether the race detector is active, so
+// allocation-gate tests can skip under -race (the detector's
+// instrumentation allocates).
+package raceinfo
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false
