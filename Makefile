@@ -3,16 +3,17 @@
 # simulation hot paths (run without -race, which would perturb the
 # counts), a short hot-path benchmark smoke so ns/op regressions fail
 # fast, and a one-iteration benchmark pass (which also regenerates the
-# paper's tables and figures once and exercises the attack stage at both
-# worker counts via BenchmarkAttackStage).
+# paper's tables and figures once and exercises the attack and
+# architecture-fingerprinting stages at both worker counts via
+# BenchmarkAttackStage and BenchmarkArchIDStage).
 
 GO ?= go
 
 # PR number stamped into the benchmark trajectory snapshot.
-BENCH_PR ?= 3
+BENCH_PR ?= 4
 BENCH_JSON ?= BENCH_PR$(BENCH_PR).json
 # Key micro/campaign benches tracked across PRs.
-BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage
+BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage
 
 .PHONY: all build vet test race bench bench-json allocgate benchsmoke ci golden
 
@@ -49,9 +50,10 @@ allocgate:
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess$$|BenchmarkClassifyMNIST$$' -benchtime=100x .
 
-# Regenerate the golden end-to-end evaluation and attack reports after a
-# *deliberate* behavior change (review the diff before committing it).
+# Regenerate all three golden reports (end-to-end evaluation, attack
+# stage, architecture fingerprinting) after a *deliberate* behavior
+# change (review the diff before committing it).
 golden:
-	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport' -update .
+	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport' -update .
 
 ci: vet build race allocgate benchsmoke bench

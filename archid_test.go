@@ -1,0 +1,217 @@
+package repro
+
+// Architecture-fingerprinting regression tests: a golden report pinning a
+// fixed campaign's confusion matrices, zoo metadata and layer evidence;
+// the byte-invariance guarantee across worker counts; and the
+// attack-stage defense matrix guarding the template attacker's
+// variance-floor fix. Regenerate the golden file deliberately with:
+//
+//	go test -run TestArchIDGoldenReport -update .
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/archid"
+)
+
+const goldenArchIDPath = "testdata/golden_archid.json"
+
+// goldenArchID is the serialized form of a fingerprinting result. The
+// confusion matrices are integer counts and the layer evidence integer
+// counters, so everything is compared exactly.
+type goldenArchID struct {
+	Name        string                 `json:"name"`
+	Defense     string                 `json:"defense"`
+	Padded      bool                   `json:"padded"`
+	Events      []string               `json:"events"`
+	Zoo         []archid.SpecInfo      `json:"zoo"`
+	ProfileRuns int                    `json:"profile_runs"`
+	AttackRuns  int                    `json:"attack_runs"`
+	K           int                    `json:"k"`
+	TemplateAcc float64                `json:"template_acc"`
+	KNNAcc      float64                `json:"knn_acc"`
+	Template    map[int]map[int]int    `json:"template_matrix"`
+	KNN         map[int]map[int]int    `json:"knn_matrix"`
+	Evidence    []archid.LayerEvidence `json:"layer_evidence"`
+}
+
+func toGoldenArchID(res *ArchIDResult) goldenArchID {
+	g := goldenArchID{
+		Name:        res.Attack.Name,
+		Defense:     res.Level.String(),
+		Padded:      res.Padded,
+		Zoo:         res.Specs,
+		ProfileRuns: res.Attack.ProfileRuns,
+		AttackRuns:  res.Attack.AttackRuns,
+		K:           res.Attack.K,
+		TemplateAcc: res.Attack.Template.Accuracy(),
+		KNNAcc:      res.Attack.KNN.Accuracy(),
+		Template:    res.Attack.Template.Matrix,
+		KNN:         res.Attack.KNN.Matrix,
+		Evidence:    res.Evidence,
+	}
+	for _, e := range res.Attack.Events {
+		g.Events = append(g.Events, e.String())
+	}
+	return g
+}
+
+// goldenArchIDCampaign is the fixed campaign the golden file pins: the
+// small shared attack scenario's zoo fingerprinted at the scenario's
+// baseline level, 12 profiling + 6 attack runs per architecture, root
+// seed 17, on the pipeline with 2 workers.
+func goldenArchIDCampaign(t *testing.T, workers int) *ArchIDResult {
+	t.Helper()
+	res, err := attackScenario(t).ArchID(context.Background(), ArchIDConfig{
+		ProfileRuns: 12,
+		AttackRuns:  6,
+		MaxInputs:   12,
+		Workers:     workers,
+		Seed:        17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestArchIDGoldenReport(t *testing.T) {
+	got := toGoldenArchID(goldenArchIDCampaign(t, 2))
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenArchIDPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenArchIDPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden archid report rewritten: %s", goldenArchIDPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenArchIDPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestArchIDGoldenReport -update .` to create it): %v", err)
+	}
+	var want goldenArchID
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("archid result diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", gotJSON, data)
+	}
+	// The golden campaign itself must show the headline result: near-
+	// perfect recovery of the deployed architecture at baseline.
+	if got.TemplateAcc < 3.0/7 {
+		t.Fatalf("golden baseline template recovery = %.3f, want >= 3x chance", got.TemplateAcc)
+	}
+}
+
+// TestArchIDGoldenByteInvariantAcrossWorkers executes the exact golden
+// campaign at workers=1 and workers=8; the serialized reports must be
+// byte-for-byte identical to each other and to the committed golden file.
+func TestArchIDGoldenByteInvariantAcrossWorkers(t *testing.T) {
+	marshal := func(workers int) []byte {
+		data, err := json.MarshalIndent(toGoldenArchID(goldenArchIDCampaign(t, workers)), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	one, eight := marshal(1), marshal(8)
+	if string(one) != string(eight) {
+		t.Fatalf("workers=1 and workers=8 archid reports differ:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", one, eight)
+	}
+	want, err := os.ReadFile(goldenArchIDPath)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if string(one)+"\n" != string(want) {
+		t.Fatalf("archid report diverged from committed golden:\n--- got ---\n%s\n--- want ---\n%s", one, want)
+	}
+}
+
+// TestAttackStageDefenseMatrix is the input-recovery regression matrix
+// over all four defense levels. It guards the template attacker's
+// variance-floor fix: baseline recovery must be far above chance, and the
+// (near-constant-channel) ConstantTime level must land near chance *via
+// finite, spread-out decisions* — not via the degenerate templates[0]
+// fallback the old absolute 1e-9 floor produced.
+func TestAttackStageDefenseMatrix(t *testing.T) {
+	// A pure-kernel scenario (runtime overhead disabled): the matrix
+	// guards the attacker's decision machinery, so the kernels' class
+	// signal must not be drowned by the statistical runtime jitter.
+	s, err := NewScenario(ScenarioConfig{
+		Dataset:        DatasetMNIST,
+		PerClassTrain:  60,
+		PerClassTest:   20,
+		Epochs:         2,
+		Seed:           5,
+		DisableRuntime: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	chance := 0.25 // 4 paper classes
+	for _, level := range []DefenseLevel{DefenseBaseline, DefenseDense, DefenseConstantTime, DefenseNoiseInjection} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			res, err := s.AttackGrouped(ctx, level, AttackConfig{
+				ProfileRuns: 30,
+				AttackRuns:  15,
+				Workers:     4,
+				Seed:        19,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Template.Total != 60 || res.KNN.Total != 60 {
+				t.Fatalf("matrix totals %d/%d, want 60", res.Template.Total, res.KNN.Total)
+			}
+			acc := res.Template.Accuracy()
+			switch level {
+			case DefenseBaseline:
+				if acc < 2*chance {
+					t.Fatalf("baseline template recovery %.3f, want >= 2x chance (%.2f)", acc, chance)
+				}
+			case DefenseConstantTime:
+				if acc > 1.6*chance {
+					t.Fatalf("constant-time template recovery %.3f, want <= 1.6x chance (%.2f)", acc, chance)
+				}
+				// Anti-fallback guards: predictions spread over classes and
+				// every fitted variance sits above the degenerate absolute
+				// floor (the counts are O(10³)+, so a healthy scale-relative
+				// floor is orders of magnitude above 1e-9).
+				predicted := map[int]bool{}
+				for _, row := range res.Template.Matrix {
+					for pred, n := range row {
+						if n > 0 {
+							predicted[pred] = true
+						}
+					}
+				}
+				if len(predicted) < 2 {
+					t.Fatalf("constant-time template predictions collapsed onto %v — the templates[0] fallback", predicted)
+				}
+				for _, tpl := range res.Templates {
+					for e, v := range tpl.Variance {
+						if v <= 1e-9 {
+							t.Fatalf("class %d event %s variance %g at the degenerate absolute floor", tpl.Class, e, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}

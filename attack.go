@@ -151,17 +151,7 @@ func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg At
 		if err != nil {
 			return nil, err
 		}
-		for cls, profs := range part {
-			if byClass[cls] == nil {
-				byClass[cls] = profs
-				continue
-			}
-			for r, prof := range profs {
-				for e, v := range prof {
-					byClass[cls][r][e] = v
-				}
-			}
-		}
+		joinProfiles(byClass, part)
 	}
 
 	profSet, atkSet, err := attack.Split(byClass, cfg.ProfileRuns)

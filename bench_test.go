@@ -495,6 +495,36 @@ func BenchmarkAttackStage(b *testing.B) {
 	}
 }
 
+// BenchmarkArchIDStage runs the architecture-fingerprinting stage — the
+// default zoo deployed per class label through the class-aware pipeline,
+// both attackers recovering the architecture id — at both worker counts,
+// extending the trajectory alongside the evaluation and attack stages.
+// Accuracy metrics are identical across worker counts for the same seed.
+func BenchmarkArchIDStage(b *testing.B) {
+	s, err := DefaultScenario(DatasetMNIST)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := s.ArchID(context.Background(), ArchIDConfig{
+					ProfileRuns: 12,
+					AttackRuns:  6,
+					MaxInputs:   12,
+					Workers:     workers,
+					Seed:        17,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Attack.Template.Accuracy(), "template_acc")
+				b.ReportMetric(res.Attack.KNN.Accuracy(), "knn_acc")
+			}
+		})
+	}
+}
+
 // --- Micro benchmarks: per-operation simulation costs. ---
 
 // BenchmarkClassifyMNIST measures one instrumented MNIST classification.

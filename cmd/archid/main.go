@@ -1,0 +1,159 @@
+// Command archid runs the architecture-fingerprinting stage: a model zoo
+// of candidate architectures is deployed at a chosen defense level, each
+// candidate's HPC footprint is profiled over the concurrent sharded
+// pipeline, and the template and kNN attackers recover *which architecture
+// is running* from held-out observations — the question (CSI-NN) an
+// adversary asks before any input-recovery attack.
+//
+// Usage:
+//
+//	archid -dataset mnist [-defense baseline] [-events base]
+//	       [-profile-runs 40] [-attack-runs 20] [-k 5] [-workers N]
+//	       [-seed 1] [-max-inputs 0] [-nopad] [-json out.json]
+//
+// All observations derive from -seed via per-shard seed derivation, so any
+// -workers value reproduces byte-identical confusion matrices. Under
+// -defense constant-time the deployments are envelope-padded (every
+// architecture tops up to the zoo-wide footprint envelope) unless -nopad
+// is set; the -nopad ablation shows that per-kernel constant time alone
+// does not hide the architecture.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro"
+	"repro/internal/hpc"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("archid: ")
+	var (
+		dsName      = flag.String("dataset", "mnist", "dataset: mnist or cifar")
+		defName     = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		events      = flag.String("events", "base", "event set (base, fig2b, extended) or comma-separated event list")
+		profileRuns = flag.Int("profile-runs", 40, "profiling observations per architecture (the adversary's training budget)")
+		attackRuns  = flag.Int("attack-runs", 20, "held-out observations per architecture the attackers are scored on")
+		k           = flag.Int("k", 5, "kNN neighbourhood size")
+		workers     = flag.Int("workers", 0, "pipeline workers; 0 = GOMAXPROCS")
+		seed        = flag.Int64("seed", 0, "campaign root seed; 0 = scenario seed")
+		maxInputs   = flag.Int("max-inputs", 0, "cap on the shared input pool; 0 = all test images")
+		noPad       = flag.Bool("nopad", false, "disable constant-time envelope padding (ablation)")
+		jsonPath    = flag.String("json", "", "write the result as JSON to this file")
+	)
+	flag.Parse()
+
+	level, err := repro.ParseDefense(*defName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evs, err := hpc.ParseEventSpec(*events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *profileRuns < 2 {
+		log.Fatalf("-profile-runs %d too small: templates need at least 2 profiling observations per architecture", *profileRuns)
+	}
+	if *attackRuns < 1 {
+		log.Fatalf("-attack-runs %d too small: need at least 1 held-out observation per architecture", *attackRuns)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	s, err := repro.NewScenario(repro.ScenarioConfig{Dataset: repro.Dataset(*dsName), Defense: level})
+	if err != nil {
+		log.Fatal(err)
+	}
+	zoo, err := s.ArchZoo()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fingerprinting a %d-architecture zoo on %s inputs at defense %s (%d events)...\n\n",
+		zoo.Len(), *dsName, level, len(evs))
+
+	res, err := s.ArchID(ctx, repro.ArchIDConfig{
+		Events:      evs,
+		ProfileRuns: *profileRuns,
+		AttackRuns:  *attackRuns,
+		K:           *k,
+		Workers:     *workers,
+		Seed:        *seed,
+		MaxInputs:   *maxInputs,
+		NoPad:       *noPad,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := report.ArchIDSummary(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+	chance := res.ChanceLevel()
+	best := res.Attack.Template.Accuracy()
+	if res.Attack.KNN.Accuracy() > best {
+		best = res.Attack.KNN.Accuracy()
+	}
+	fmt.Println()
+	switch {
+	case best > 2*chance:
+		fmt.Printf("verdict: architecture exposed — best recovery accuracy %.1f%% is over twice chance (%.1f%%)\n", 100*best, 100*chance)
+	case best > chance:
+		fmt.Printf("verdict: architecture weakly exposed — best recovery accuracy %.1f%% vs chance %.1f%%\n", 100*best, 100*chance)
+	default:
+		fmt.Printf("verdict: architecture hidden at this budget — best recovery accuracy %.1f%% vs chance %.1f%%\n", 100*best, 100*chance)
+	}
+	fmt.Printf("(root seed %d reproduces this result at any -workers value)\n", res.Seed)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResult(res)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("result written to %s\n", *jsonPath)
+	}
+}
+
+// jsonResult flattens an ArchIDResult into a JSON-friendly shape with
+// event names instead of internal event ids.
+func jsonResult(r *repro.ArchIDResult) map[string]any {
+	names := make([]string, len(r.Attack.Events))
+	for i, e := range r.Attack.Events {
+		names[i] = e.String()
+	}
+	return map[string]any{
+		"name":         r.Attack.Name,
+		"seed":         r.Seed,
+		"defense":      r.Level.String(),
+		"padded":       r.Padded,
+		"events":       names,
+		"zoo":          r.Specs,
+		"profile_runs": r.Attack.ProfileRuns,
+		"attack_runs":  r.Attack.AttackRuns,
+		"k":            r.Attack.K,
+		"chance":       r.ChanceLevel(),
+		"template": map[string]any{
+			"accuracy": r.Attack.Template.Accuracy(),
+			"matrix":   r.Attack.Template.Matrix,
+		},
+		"knn": map[string]any{
+			"accuracy": r.Attack.KNN.Accuracy(),
+			"matrix":   r.Attack.KNN.Matrix,
+		},
+		"layer_evidence": r.Evidence,
+	}
+}

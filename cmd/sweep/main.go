@@ -10,7 +10,7 @@
 //	sweep [-datasets mnist] [-defenses baseline,constant-time] [-runs 50,100,200]
 //	      [-events "base;fig2b"] [-classes 1,2,3,4] [-alpha 0.05]
 //	      [-workers N] [-cell-parallel 2] [-seed 1] [-attack] [-attack-runs N]
-//	      [-format csv|json] [-o grid.csv]
+//	      [-archid] [-archid-runs N] [-format csv|json] [-o grid.csv]
 //
 // Event sets are separated by semicolons; each set is a named set (base,
 // fig2b, extended) or a comma-separated perf-style event list. Sets wider
@@ -47,6 +47,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "sweep root seed")
 		attackStage  = flag.Bool("attack", false, "run the end-to-end attack stage per cell (template_acc/knn_acc columns)")
 		attackRuns   = flag.Int("attack-runs", 0, "held-out attack observations per class (0 = half the cell's budget, min 10)")
+		archidStage  = flag.Bool("archid", false, "run the architecture-fingerprinting stage per cell (archid_template_acc/archid_knn_acc columns)")
+		archidRuns   = flag.Int("archid-runs", 0, "held-out fingerprinting observations per architecture (0 = half the cell's budget, min 10)")
 		format       = flag.String("format", "csv", "output format: csv or json")
 		out          = flag.String("o", "", "output file (default stdout)")
 		perTrain     = flag.Int("train", 0, "per-class training images (0 = paper default)")
@@ -72,6 +74,8 @@ func main() {
 		Seed:         *seed,
 		Attack:       *attackStage,
 		AttackRuns:   *attackRuns,
+		ArchID:       *archidStage,
+		ArchIDRuns:   *archidRuns,
 		Scenario: repro.ScenarioConfig{
 			PerClassTrain: *perTrain,
 			PerClassTest:  *perTest,
@@ -101,6 +105,9 @@ func main() {
 		attackInfo := ""
 		if r.AttackRuns > 0 {
 			attackInfo = fmt.Sprintf(", template %.0f%% / knn %.0f%%", 100*r.TemplateAcc, 100*r.KNNAcc)
+		}
+		if r.ArchIDRuns > 0 {
+			attackInfo += fmt.Sprintf(", archid %.0f%%/%.0f%%", 100*r.ArchIDTemplateAcc, 100*r.ArchIDKNNAcc)
 		}
 		fmt.Fprintf(os.Stderr, "  [%d/%d] %s/%s runs=%d events=%s: %d alarms%s (%.0f ms)\n",
 			done, total, r.Dataset, r.Defense, r.Runs, r.EventSet, r.Alarms, attackInfo, float64(r.WallMS))

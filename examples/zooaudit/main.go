@@ -1,0 +1,83 @@
+// Zoo audit: which deployment hides *what it is* from the side channel?
+//
+// The input-recovery scenarios ask whether an adversary can tell what a
+// model is looking at; this audit asks the prior question (CSI-NN): can
+// they tell which model is deployed at all? A zoo of seven candidate
+// architectures — MLP depth/width variants, CNN conv-count/channel
+// variants, pooling on and off — is deployed one by one, and the template
+// and kNN attackers try to recover the architecture id from held-out HPC
+// profiles.
+//
+// The audit runs the zoo through three deployments:
+//
+//  1. baseline — the leaky sparsity-skipping kernels;
+//  2. constant-time WITHOUT envelope padding — the ablation showing that
+//     per-kernel constant time hides the input but not the model: each
+//     architecture's own fixed footprint still identifies it;
+//  3. constant-time WITH envelope padding — every classification tops up
+//     to the zoo-wide footprint envelope, and recovery collapses to
+//     chance.
+//
+// Every observation derives from the root seed, so the numbers below are
+// byte-identical at any worker count.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("preparing the MNIST-like input pool...")
+	s, err := repro.NewScenario(repro.ScenarioConfig{
+		Dataset:       repro.DatasetMNIST,
+		PerClassTrain: 20,
+		PerClassTest:  10,
+		Epochs:        1,
+		Seed:          11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	zoo, err := s.ArchZoo()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auditing a %d-architecture zoo with %d workers\n\n", zoo.Len(), runtime.GOMAXPROCS(0))
+
+	ctx := context.Background()
+	audit := func(title string, level repro.DefenseLevel, noPad bool) {
+		fmt.Printf("=== %s ===\n", title)
+		res, err := s.ArchIDGrouped(ctx, level, repro.ArchIDConfig{
+			ProfileRuns: 24,
+			AttackRuns:  12,
+			MaxInputs:   20,
+			Seed:        29,
+			NoPad:       noPad,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.ArchIDSummary(os.Stdout, res); err != nil {
+			log.Fatal(err)
+		}
+		chance := res.ChanceLevel()
+		fmt.Printf("--> template %.1f%%, kNN %.1f%% (chance %.1f%%)\n\n",
+			100*res.Attack.Template.Accuracy(), 100*res.Attack.KNN.Accuracy(), 100*chance)
+	}
+
+	audit("baseline deployment", repro.DefenseBaseline, false)
+	audit("constant-time kernels, no envelope padding (ablation)", repro.DefenseConstantTime, true)
+	audit("constant-time kernels + envelope padding", repro.DefenseConstantTime, false)
+
+	fmt.Println("conclusion: hiding the model requires padding to an architecture-")
+	fmt.Println("independent envelope — constant-time kernels alone only hide the input.")
+}

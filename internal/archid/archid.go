@@ -1,0 +1,421 @@
+// Package archid is the architecture-fingerprinting stage: the attack the
+// paper's title promises but the input-recovery stages never ask — *which
+// model architecture is running at all*. Following CSI-NN (Batina et al.),
+// the adversary holds a hypothesis space of plausible deployments (the
+// internal/nn model zoo), profiles each candidate's HPC footprint, and
+// recovers the deployed architecture from a single observed
+// classification's counters.
+//
+// The stage reuses the whole existing machinery with the *architecture id*
+// as the class label: per-architecture profiles are collected through the
+// concurrent sharded pipeline (one victim deployment per shard, built by a
+// class-aware factory), split and scored by the same Gaussian-template and
+// kNN attackers as the input-recovery stage, and every observation derives
+// from the root seed — so results are bit-identical at any worker count.
+//
+// Unlike the input-recovery scenario, hardening the *kernels* is not
+// enough here: a constant-time network still executes its own
+// architecture's fixed instruction and memory stream, which fingerprints
+// it perfectly. The constant-time deployment therefore additionally pads
+// every classification to the zoo-wide footprint envelope (dummy
+// arithmetic, retired no-op branches, LLC filler traffic, stall cycles) —
+// the natural extension of the paper's "indistinguishable CPU footprint"
+// countermeasure from the input secret to the model secret. Baseline,
+// dense-execution and noise-injection deployments stay unpadded, so the
+// stage quantifies exactly how much each level leaks about the model.
+package archid
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/hpc"
+	"repro/internal/instrument"
+	"repro/internal/march"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// Seed-derivation domains (core.DeriveSeed's third argument), disjoint
+// from the evaluation (0, 1) and attack (2, 3) stages.
+const (
+	seedDomainWeights  = 10 // per-architecture weight construction
+	seedDomainPipeline = 11 // collection campaign root
+)
+
+// Config controls an architecture-fingerprinting campaign. The zero value
+// (plus a Zoo and Inputs) profiles 40 and attacks 20 classifications per
+// architecture with the paper's base events at the baseline level.
+type Config struct {
+	// Name identifies the campaign in the result ("mnist/baseline").
+	Name string
+	// Zoo is the hypothesis space of candidate architectures (≥2 specs).
+	Zoo *nn.Zoo
+	// Inputs is the shared image pool every candidate deployment
+	// classifies; run r uses Inputs[r%len(Inputs)]. The secret is the
+	// model, not the input, so all architectures see the same pool.
+	Inputs []*tensor.Tensor
+	// Events are the monitored HPC events; default cache-misses and
+	// branches. One campaign counts one register group — callers split
+	// wider sets into groups (see repro.ArchIDGrouped).
+	Events []march.Event
+	// Level hardens every candidate deployment; default Baseline.
+	Level defense.Level
+	// ProfileRuns / AttackRuns are per-architecture observation budgets;
+	// defaults 40 / 20.
+	ProfileRuns, AttackRuns int
+	// K is the kNN neighbourhood size; default 5 (clamped by the attacker).
+	K int
+	// Workers is the pipeline worker count; 0 → GOMAXPROCS.
+	Workers int
+	// Seed is the campaign root seed; default 1. Weights, shard seeds,
+	// noise and jitter all derive from it.
+	Seed int64
+	// Session distinguishes collection campaigns that must observe the
+	// *same* victims (weights derive from Seed alone) but draw disjoint
+	// observations — the per-register-group sessions of a wide event set.
+	// It offsets only the pipeline's root seed.
+	Session int
+	// ShardRuns bounds measured runs per shard; 0 uses the pipeline
+	// default.
+	ShardRuns int
+	// DisableRuntime removes the simulated framework overhead.
+	DisableRuntime bool
+	// DisableNoise removes measurement noise (deterministic counts).
+	DisableNoise bool
+	// NoPad disables the constant-time envelope padding (ablation: shows
+	// that per-kernel constant time alone does not hide the architecture).
+	NoPad bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("archid/%s", c.Level)
+	}
+	if len(c.Events) == 0 {
+		c.Events = []march.Event{march.EvCacheMisses, march.EvBranches}
+	}
+	if c.ProfileRuns <= 0 {
+		c.ProfileRuns = 40
+	}
+	if c.AttackRuns <= 0 {
+		c.AttackRuns = 20
+	}
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Zoo == nil || c.Zoo.Len() < 2 {
+		n := 0
+		if c.Zoo != nil {
+			n = c.Zoo.Len()
+		}
+		return fmt.Errorf("archid: need a zoo of at least 2 architectures, got %d", n)
+	}
+	if len(c.Inputs) == 0 {
+		return fmt.Errorf("archid: need at least one input image")
+	}
+	if c.ProfileRuns < 2 {
+		return fmt.Errorf("archid: need at least 2 profiling runs per architecture, got %d", c.ProfileRuns)
+	}
+	if c.AttackRuns < 1 {
+		return fmt.Errorf("archid: need at least 1 attack run per architecture, got %d", c.AttackRuns)
+	}
+	return nil
+}
+
+// SpecInfo is the serializable metadata of one zoo architecture (the
+// Spec minus its build closure), as reported in results and goldens.
+type SpecInfo struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	Depth  int    `json:"depth"`
+	Width  int    `json:"width"`
+	Pool   bool   `json:"pool"`
+	Layers int    `json:"layers"`
+}
+
+func specInfos(zoo *nn.Zoo) []SpecInfo {
+	out := make([]SpecInfo, 0, zoo.Len())
+	for _, s := range zoo.Specs() {
+		out = append(out, SpecInfo{ID: s.ID, Name: s.Name, Family: s.Family,
+			Depth: s.Depth, Width: s.Width, Pool: s.Pool, Layers: s.Layers})
+	}
+	return out
+}
+
+// Result is the outcome of one fingerprinting campaign.
+type Result struct {
+	// Attack holds the confusion matrices and accuracies of both
+	// attackers over the architecture labels.
+	Attack *attack.Result
+	// Specs are the zoo's architectures in ID (= class label) order.
+	Specs []SpecInfo
+	// Evidence is the per-architecture layer-level fingerprint an
+	// instrumenting analyst additionally recovers (CSI-NN's layer counts).
+	Evidence []LayerEvidence
+	// Level is the hardening level every deployment ran at.
+	Level defense.Level
+	// Padded reports whether the constant-time envelope pad was applied.
+	Padded bool
+	// Seed is the resolved root seed the campaign derived every weight,
+	// shard seed and noise stream from — the value that reproduces the
+	// result at any worker count.
+	Seed int64
+}
+
+// ChanceLevel is the accuracy of guessing the architecture uniformly.
+func (r *Result) ChanceLevel() float64 { return r.Attack.ChanceLevel() }
+
+// Nets builds every zoo architecture with weights derived deterministically
+// from the campaign seed: spec i is constructed from
+// DeriveSeed(seed, i, weights-domain) alone, so any process replaying the
+// campaign holds bit-identical victims.
+func Nets(zoo *nn.Zoo, seed int64) ([]*nn.Network, error) {
+	if zoo == nil {
+		return nil, fmt.Errorf("archid: nil zoo")
+	}
+	nets := make([]*nn.Network, zoo.Len())
+	for _, s := range zoo.Specs() {
+		net, err := zoo.Build(s.ID, core.DeriveSeed(seed, s.ID, seedDomainWeights))
+		if err != nil {
+			return nil, fmt.Errorf("archid: building %s: %w", s.Name, err)
+		}
+		nets[s.ID] = net
+	}
+	return nets, nil
+}
+
+// Campaign is the precomputed per-campaign state shared by every
+// collection session: the deterministic zoo victims, their envelope pads
+// (under ConstantTime) and their layer evidence. Multi-session campaigns
+// — the per-register-group collections of a wide event set — reuse one
+// Campaign so the victims are built (and the pads measured) exactly once.
+type Campaign struct {
+	cfg      Config
+	nets     []*nn.Network
+	pads     []padCounts // nil unless the deployment is envelope-padded
+	evidence []LayerEvidence
+}
+
+// NewCampaign validates the configuration and precomputes the victims,
+// pads and evidence. cfg.Events and cfg.Session are ignored here — they
+// are per-session inputs to Collect.
+func NewCampaign(cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nets, err := Nets(cfg.Zoo, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{cfg: cfg, nets: nets}
+	if cfg.Level == defense.ConstantTime && !cfg.NoPad {
+		if c.pads, err = envelopePads(nets, cfg.Inputs[0]); err != nil {
+			return nil, err
+		}
+	}
+	if c.evidence, err = evidenceForNets(cfg.Zoo, nets, cfg.Inputs[0]); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Padded reports whether the campaign's deployments are envelope-padded.
+func (c *Campaign) Padded() bool { return c.pads != nil }
+
+// Collect runs one collection session on the concurrent sharded pipeline
+// and returns the labelled per-run profiles, byArch[architecture id][run].
+// Each shard deploys a fresh instance of its class's architecture through
+// the class-aware factory; sessions of the same campaign observe the same
+// victims with disjoint observation seeds.
+func (c *Campaign) Collect(ctx context.Context, events []march.Event, session int) (map[int][]hpc.Profile, error) {
+	if len(events) == 0 || len(events) > hpc.DefaultCounters {
+		return nil, fmt.Errorf("archid: a session counts 1..%d events, got %d (split wide sets into register groups)",
+			hpc.DefaultCounters, len(events))
+	}
+	ev, err := core.NewEvaluator(core.Config{
+		Events:       events,
+		RunsPerClass: c.cfg.ProfileRuns + c.cfg.AttackRuns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p, err := pipeline.New(ev, pipeline.Config{
+		Workers:   c.cfg.Workers,
+		RootSeed:  core.DeriveSeed(c.cfg.Seed, session, seedDomainPipeline),
+		ShardRuns: c.cfg.ShardRuns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	perClass := make(map[int][]*tensor.Tensor, c.cfg.Zoo.Len())
+	for _, s := range c.cfg.Zoo.Specs() {
+		perClass[s.ID] = c.cfg.Inputs
+	}
+	return p.CollectProfilesByClass(ctx, c.factory(), perClass)
+}
+
+// Score fits and scores both attackers on collected profiles (events must
+// list the joined feature order when profiles were merged across
+// sessions) and attaches the zoo metadata and layer evidence.
+func (c *Campaign) Score(events []march.Event, byArch map[int][]hpc.Profile) (*Result, error) {
+	profSet, atkSet, err := attack.Split(byArch, c.cfg.ProfileRuns)
+	if err != nil {
+		return nil, err
+	}
+	res, err := attack.Evaluate(c.cfg.Name, events, profSet, atkSet, c.cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Attack:   res,
+		Specs:    specInfos(c.cfg.Zoo),
+		Evidence: c.evidence,
+		Level:    c.cfg.Level,
+		Padded:   c.Padded(),
+		Seed:     c.cfg.Seed,
+	}, nil
+}
+
+// Run is the end-to-end single-session campaign: Collect then Score.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	byArch, err := c.Collect(ctx, cfg.Events, cfg.Session)
+	if err != nil {
+		return nil, err
+	}
+	return c.Score(cfg.Events, byArch)
+}
+
+// factory builds the class-aware target factory: shard workers deploy
+// architecture `class` hardened at the campaign's level on a fresh engine
+// seeded from the shard seed, wrapped with its envelope pad when the
+// campaign is padded.
+func (c *Campaign) factory() pipeline.ClassTargetFactory {
+	cfg, nets, pads := c.cfg, c.nets, c.pads
+	return func(class int, seed int64) (core.Target, error) {
+		if class < 0 || class >= len(nets) {
+			return nil, fmt.Errorf("archid: no architecture %d", class)
+		}
+		var noise *march.NoiseModel
+		if !cfg.DisableNoise {
+			noise = march.DefaultNoise(seed)
+		}
+		engine, err := march.NewEngine(march.Config{
+			Hierarchy: instrument.SimHierarchy(),
+			Noise:     noise,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt := instrument.DefaultRuntime()
+		if cfg.DisableRuntime {
+			rt = instrument.NoRuntime()
+		}
+		target, err := defense.New(nets[class], engine, defense.Config{
+			Level:   cfg.Level,
+			Seed:    seed + 1,
+			Runtime: rt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if pads != nil {
+			return &paddedTarget{inner: target, pad: pads[class]}, nil
+		}
+		return target, nil
+	}
+}
+
+// LayerEvidence is the per-architecture layer-level fingerprint recovered
+// from instrumented execution (the CSI-NN observation: layer counts and
+// kinds are visible in the side channel). It is computed on a noise-free
+// reference deployment, so it is deterministic.
+type LayerEvidence struct {
+	ArchID int
+	Name   string
+	// Layers is the number of instrumented layers observed (the runtime
+	// pseudo-layer excluded); Kinds is the layer-kind histogram.
+	Layers int
+	Kinds  map[string]int
+	// PerLayer lists each layer's instruction and L1-load footprint in
+	// execution order — the trace CSI-NN reads layer boundaries from.
+	PerLayer []LayerProfile
+}
+
+// LayerProfile is one layer's deterministic event footprint.
+type LayerProfile struct {
+	Index        int    `json:"index"`
+	Kind         string `json:"kind"`
+	Instructions uint64 `json:"instructions"`
+	L1DLoads     uint64 `json:"l1d_loads"`
+}
+
+// EvidenceFor computes the layer evidence for every zoo architecture by
+// replaying one attributed classification of inputs[0] on a noise-free
+// baseline deployment per spec, with victims built from the campaign
+// seed. Campaigns reuse their already-built victims via NewCampaign.
+func EvidenceFor(zoo *nn.Zoo, seed int64, inputs []*tensor.Tensor) ([]LayerEvidence, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("archid: need at least one input image")
+	}
+	nets, err := Nets(zoo, seed)
+	if err != nil {
+		return nil, err
+	}
+	return evidenceForNets(zoo, nets, inputs[0])
+}
+
+// evidenceForNets is EvidenceFor over already-built victims.
+func evidenceForNets(zoo *nn.Zoo, nets []*nn.Network, input *tensor.Tensor) ([]LayerEvidence, error) {
+	out := make([]LayerEvidence, 0, zoo.Len())
+	for _, s := range zoo.Specs() {
+		net := nets[s.ID]
+		engine, err := march.NewEngine(march.Config{Hierarchy: instrument.SimHierarchy()})
+		if err != nil {
+			return nil, err
+		}
+		cl, err := instrument.New(net, engine, instrument.Options{SparsitySkip: true})
+		if err != nil {
+			return nil, fmt.Errorf("archid: instrumenting %s: %w", s.Name, err)
+		}
+		_, attribution, err := cl.ClassifyWithAttribution(input)
+		if err != nil {
+			return nil, fmt.Errorf("archid: attributing %s: %w", s.Name, err)
+		}
+		layers, kinds := instrument.SummarizeAttribution(attribution)
+		ev := LayerEvidence{ArchID: s.ID, Name: s.Name, Layers: layers, Kinds: kinds}
+		for _, lc := range attribution {
+			if lc.Index < 0 {
+				continue
+			}
+			ev.PerLayer = append(ev.PerLayer, LayerProfile{
+				Index:        lc.Index,
+				Kind:         lc.Kind,
+				Instructions: lc.Counts.Get(march.EvInstructions),
+				L1DLoads:     lc.Counts.Get(march.EvL1DLoads),
+			})
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ArchID < out[j].ArchID })
+	return out, nil
+}

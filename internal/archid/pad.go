@@ -1,0 +1,178 @@
+package archid
+
+// Envelope padding: the constant-time deployment of the fingerprinting
+// scenario. Per-kernel constant time makes each network's footprint
+// input-independent, but every architecture still executes its *own*
+// fixed instruction and memory stream — which identifies it exactly. The
+// countermeasure is to pad every classification up to the zoo-wide
+// footprint envelope: after the real inference, the serving loop issues
+// dummy arithmetic, retired no-op branches, LLC filler traffic and stall
+// cycles until the deterministic part of the counters matches the
+// envelope for every architecture. What remains observable is measurement
+// noise and runtime jitter — identically distributed across the zoo.
+//
+// The pad is computed once per campaign from the deterministic
+// steady-state kernel footprint of each architecture (no noise, no
+// runtime model), decomposed into the engine's independent counter
+// components so the per-component envelope maxima are simultaneously
+// reachable by non-negative pads. Padded per-run deltas are then exactly
+// equal across the zoo for the six directly-counted paper events;
+// bus-cycles and ref-cycles, being ratio-derived from the absolute cycle
+// counter, can wobble by ±1 count from truncation at each deployment's
+// own absolute offset — five orders of magnitude below the measurement
+// noise. The per-level L1/TLB events stay unpadded (extended events
+// remain a residual fingerprint, as in real padding countermeasures).
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/instrument"
+	"repro/internal/march"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// padWarmup is the number of unmeasured classifications before the
+// footprint measurement — matches the evaluator's steady-state warm-up
+// discipline (constant-time streams reach their periodic fixed point
+// within one run; a margin is kept anyway).
+const padWarmup = 4
+
+// padCounts is one architecture's per-classification pad, in the
+// engine's independent counter components.
+type padCounts struct {
+	ops, branches, branchMisses uint64
+	llcRefs, llcMisses          uint64
+	stall                       uint64
+}
+
+// components is the independent-counter decomposition of a footprint:
+// instructions split into non-branch ops and branches, LLC references
+// split into hits and misses (references = hits + misses, so maximizing
+// references and misses independently could demand a pad with more misses
+// than references — hits and misses are the independent pair), and the
+// stall-cycle residue of the cycle counter (cycles minus the base-CPI
+// contribution of the instructions).
+type components struct {
+	ops, branches, branchMisses uint64
+	llcHits, llcMisses          uint64
+	extra                       uint64
+}
+
+func decompose(delta march.Counts, extra uint64) components {
+	instr := delta.Get(march.EvInstructions)
+	br := delta.Get(march.EvBranches)
+	return components{
+		ops:          instr - br,
+		branches:     br,
+		branchMisses: delta.Get(march.EvBranchMisses),
+		llcHits:      delta.Get(march.EvCacheReferences) - delta.Get(march.EvCacheMisses),
+		llcMisses:    delta.Get(march.EvCacheMisses),
+		extra:        extra,
+	}
+}
+
+// kernelFootprint measures the deterministic steady-state footprint of
+// one constant-time deployment: a noise-free engine, no runtime model,
+// warm-up, then one measured classification. Constant-time streams are
+// input-independent, so any input yields the same counts. The stall-cycle
+// residue is read from the engine directly (Engine.StallCycles), which is
+// exact under any timing model — reconstructing it from Counts would
+// alias the base-CPI truncation.
+func kernelFootprint(net *nn.Network, input *tensor.Tensor) (march.Counts, uint64, error) {
+	engine, err := march.NewEngine(march.Config{Hierarchy: instrument.SimHierarchy()})
+	if err != nil {
+		return march.Counts{}, 0, err
+	}
+	target, err := defense.New(net, engine, defense.Config{
+		Level:   defense.ConstantTime,
+		Runtime: instrument.NoRuntime(),
+	})
+	if err != nil {
+		return march.Counts{}, 0, err
+	}
+	engine.ColdReset()
+	for i := 0; i < padWarmup; i++ {
+		if _, err := target.Classify(input); err != nil {
+			return march.Counts{}, 0, fmt.Errorf("archid: pad warm-up: %w", err)
+		}
+	}
+	before, stallBefore := engine.Counts(), engine.StallCycles()
+	if _, err := target.Classify(input); err != nil {
+		return march.Counts{}, 0, fmt.Errorf("archid: pad measurement: %w", err)
+	}
+	after, stallAfter := engine.Counts(), engine.StallCycles()
+	return after.Sub(before), stallAfter - stallBefore, nil
+}
+
+// envelopePads measures every architecture's constant-time footprint and
+// returns the per-architecture pads to the component-wise envelope
+// (maximum over the zoo). By construction every pad is non-negative and
+// all architectures land on identical deterministic totals for the eight
+// paper events; residual variation is noise and jitter only.
+func envelopePads(nets []*nn.Network, input *tensor.Tensor) ([]padCounts, error) {
+	comps := make([]components, len(nets))
+	var env components
+	for i, net := range nets {
+		delta, extra, err := kernelFootprint(net, input)
+		if err != nil {
+			return nil, err
+		}
+		comps[i] = decompose(delta, extra)
+		env = maxComponents(env, comps[i])
+	}
+	pads := make([]padCounts, len(nets))
+	for i, c := range comps {
+		padHits := env.llcHits - c.llcHits
+		padMisses := env.llcMisses - c.llcMisses
+		pads[i] = padCounts{
+			ops:          env.ops - c.ops,
+			branches:     env.branches - c.branches,
+			branchMisses: env.branchMisses - c.branchMisses,
+			llcRefs:      padHits + padMisses,
+			llcMisses:    padMisses,
+			stall:        env.extra - c.extra,
+		}
+	}
+	return pads, nil
+}
+
+func maxComponents(a, b components) components {
+	m := func(x, y uint64) uint64 {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	return components{
+		ops:          m(a.ops, b.ops),
+		branches:     m(a.branches, b.branches),
+		branchMisses: m(a.branchMisses, b.branchMisses),
+		llcHits:      m(a.llcHits, b.llcHits),
+		llcMisses:    m(a.llcMisses, b.llcMisses),
+		extra:        m(a.extra, b.extra),
+	}
+}
+
+// paddedTarget wraps a hardened deployment, topping every classification
+// up to the envelope. It satisfies core.Target.
+type paddedTarget struct {
+	inner core.Target
+	pad   padCounts
+}
+
+// Engine exposes the simulated core (core.Target).
+func (t *paddedTarget) Engine() *march.Engine { return t.inner.Engine() }
+
+// Classify runs one inference, then pads to the envelope (core.Target).
+func (t *paddedTarget) Classify(img *tensor.Tensor) (int, error) {
+	cls, err := t.inner.Classify(img)
+	if err != nil {
+		return 0, err
+	}
+	p := t.pad
+	t.inner.Engine().Pad(p.ops, p.branches, p.branchMisses, p.llcRefs, p.llcMisses, p.stall)
+	return cls, nil
+}

@@ -19,6 +19,13 @@ import (
 	"repro/internal/stats"
 )
 
+// varEps is the scale-relative variance regularization: a channel's
+// variance is floored at varEps·mean² + varEps, so a constant channel of
+// magnitude 10⁵ gets a floor of ~10 (commensurate with counter noise)
+// instead of the old absolute 1e-9 that exploded distances into -Inf
+// log-likelihoods.
+const varEps = 1e-9
+
 // Template is the profiled model of one category: per-event mean and
 // variance of the observed counts.
 type Template struct {
@@ -69,12 +76,17 @@ func (p *Profiler) Build() (*Attacker, error) {
 			for i, o := range obs {
 				xs[i] = o.Get(e)
 			}
-			t.Mean[e] = stats.Mean(xs)
-			v := stats.Variance(xs)
-			if v < 1e-9 {
-				v = 1e-9 // regularize constant channels
-			}
-			t.Variance[e] = v
+			m := stats.Mean(xs)
+			t.Mean[e] = m
+			// Regularize (near-)constant channels *relative to the channel's
+			// scale*. HPC counts are O(10⁴–10⁵), so an absolute floor like
+			// 1e-9 turns one constant channel (typical under ConstantTime)
+			// into -d²/(2·1e-9) terms that underflow every class's
+			// log-likelihood to -Inf and silently bias Classify toward the
+			// first template. The floor ε·mean²+ε keeps the scores finite: a
+			// constant channel then contributes comparably across classes
+			// instead of dominating them all into -Inf.
+			t.Variance[e] = math.Max(stats.Variance(xs), varEps*m*m+varEps)
 		}
 		templates = append(templates, t)
 	}
@@ -91,20 +103,27 @@ type Attacker struct {
 func (a *Attacker) Templates() []Template { return a.templates }
 
 // Classify returns the maximum-likelihood class for a profile, along with
-// the per-class log-likelihoods (diagonal Gaussian model).
+// the per-class log-likelihoods (diagonal Gaussian model). Ties (and any
+// degenerate non-finite scores) break deterministically toward the lowest
+// class id: templates are fitted in ascending class order and a later
+// class must score *strictly* higher to win, so the result never depends
+// on map iteration or on which template happened to be first.
 func (a *Attacker) Classify(prof hpc.Profile) (int, map[int]float64) {
 	scores := make(map[int]float64, len(a.templates))
-	best := a.templates[0].Class
+	var best int
 	bestLL := math.Inf(-1)
-	for _, t := range a.templates {
+	for i, t := range a.templates {
 		ll := 0.0
 		for _, e := range a.events {
 			x := prof.Get(e)
 			d := x - t.Mean[e]
 			ll += -0.5*math.Log(2*math.Pi*t.Variance[e]) - d*d/(2*t.Variance[e])
 		}
+		if math.IsNaN(ll) {
+			ll = math.Inf(-1)
+		}
 		scores[t.Class] = ll
-		if ll > bestLL {
+		if i == 0 || ll > bestLL {
 			bestLL, best = ll, t.Class
 		}
 	}

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -120,6 +121,95 @@ func TestConstantChannelRegularized(t *testing.T) {
 	for cls, s := range scores {
 		if s != s { // NaN check
 			t.Fatalf("class %d score is NaN", cls)
+		}
+	}
+}
+
+func TestConstantChannelDoesNotHijackClassification(t *testing.T) {
+	// HPC-scale regression for the variance floor: one channel is constant
+	// per class at O(10⁵) with per-class offsets of a few counts (the
+	// padded-counter picture under ConstantTime), the other channel cleanly
+	// separates the classes. The old absolute 1e-9 floor turned the
+	// constant channel into -d²/(2e-9) ≈ -10⁹..10¹⁰ terms that drowned the
+	// informative channel and misclassified toward whichever class's
+	// constant happened to sit nearest — the scale-relative floor keeps the
+	// constant channel's contribution commensurate with counter noise.
+	events := []march.Event{march.EvInstructions, march.EvCacheMisses}
+	p, err := NewProfiler(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	constant := map[int]float64{0: 100000, 1: 100002, 2: 100007}
+	informative := map[int]float64{0: 100, 1: 300, 2: 500}
+	for cls := 0; cls < 3; cls++ {
+		for i := 0; i < 30; i++ {
+			p.Add(cls, hpc.Profile{
+				march.EvInstructions: constant[cls],
+				march.EvCacheMisses:  informative[cls] + rng.NormFloat64()*4,
+			})
+		}
+	}
+	atk, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tpl := range atk.Templates() {
+		v := tpl.Variance[march.EvInstructions]
+		if v < 1 {
+			t.Fatalf("class %d constant-channel variance = %g, want a scale-relative floor ≥ 1", tpl.Class, v)
+		}
+	}
+	// A class-2 observation whose constant channel jittered one count
+	// toward class 0/1's constants must still classify as 2 on the
+	// informative channel.
+	pred, scores := atk.Classify(hpc.Profile{
+		march.EvInstructions: 100001,
+		march.EvCacheMisses:  informative[2],
+	})
+	if pred != 2 {
+		t.Fatalf("pred = %d, want 2: the constant channel hijacked the decision (scores %v)", pred, scores)
+	}
+	for cls, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("class %d score = %v, want finite", cls, s)
+		}
+	}
+}
+
+func TestClassifyDeterministicTieBreak(t *testing.T) {
+	// Exactly tied (and degenerate non-finite) scores must break toward
+	// the lowest class id — never toward whichever template happened to be
+	// built first or a map iteration order.
+	p, _ := NewProfiler([]march.Event{march.EvCacheMisses})
+	for cls := 5; cls >= 2; cls-- { // added out of order on purpose
+		for i := 0; i < 3; i++ {
+			p.Add(cls, hpc.Profile{march.EvCacheMisses: 150})
+		}
+	}
+	atk, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		pred, scores := atk.Classify(hpc.Profile{march.EvCacheMisses: 150})
+		if pred != 2 {
+			t.Fatalf("tied classification = %d, want lowest class 2", pred)
+		}
+		for cls, s := range scores {
+			if math.IsNaN(s) {
+				t.Fatalf("class %d score is NaN", cls)
+			}
+		}
+	}
+	// A NaN observation degrades to -Inf scores but stays deterministic.
+	pred, scores := atk.Classify(hpc.Profile{march.EvCacheMisses: math.NaN()})
+	if pred != 2 {
+		t.Fatalf("NaN-observation classification = %d, want lowest class 2", pred)
+	}
+	for cls, s := range scores {
+		if !math.IsInf(s, -1) {
+			t.Fatalf("class %d score = %v, want -Inf for a NaN observation", cls, s)
 		}
 	}
 }

@@ -142,6 +142,19 @@ func TestFilterAndAccessors(t *testing.T) {
 			t.Fatalf("filter leaked label %d", sm.Label)
 		}
 	}
+	// Classes must report the kept-class count, not the unfiltered one:
+	// chance levels and class iteration derive from it.
+	if f.Classes != 2 {
+		t.Fatalf("filtered Classes = %d, want 2 (unfiltered set has %d)", f.Classes, train.Classes)
+	}
+	// Requested classes absent from the set do not inflate the count; an
+	// empty filter reports zero classes.
+	if g := train.Filter(1, 3, 97); g.Classes != 2 {
+		t.Fatalf("Classes with absent request = %d, want 2", g.Classes)
+	}
+	if e := train.Filter(42); e.Classes != 0 || len(e.Samples) != 0 {
+		t.Fatalf("empty filter: Classes=%d samples=%d, want 0/0", e.Classes, len(e.Samples))
+	}
 	if len(train.Inputs()) != len(train.Labels()) {
 		t.Fatal("Inputs/Labels length mismatch")
 	}

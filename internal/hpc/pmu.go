@@ -65,6 +65,9 @@ type PMU struct {
 	registers int
 	events    []march.Event
 	groups    [][]march.Event
+	// programmed[e] tracks the current event selection so reused Profiles
+	// can be scrubbed of keys left over from a previous programming.
+	programmed [march.NumEvents]bool
 	// Scratch reused across Measure calls (indexed by event id).
 	raw     [march.NumEvents]float64
 	enabled [march.NumEvents]int
@@ -103,6 +106,10 @@ func (p *PMU) Program(events ...march.Event) error {
 		seen[e] = true
 	}
 	p.events = append([]march.Event(nil), events...)
+	p.programmed = [march.NumEvents]bool{}
+	for _, e := range events {
+		p.programmed[e] = true
+	}
 	p.groups = p.groups[:0]
 	for i := 0; i < len(events); i += p.registers {
 		end := i + p.registers
@@ -170,8 +177,31 @@ func (p *PMU) MeasureInto(prof Profile, slices int, workload func(slice int)) er
 		}
 		prof[e] = p.raw[e] * float64(slices) / float64(n)
 	}
+	p.scrubStale(prof)
 	p.applyNoise(prof)
 	return nil
+}
+
+// scrubStale deletes Profile keys that are not part of the current
+// programming. A Profile reused across Program calls with different event
+// sets would otherwise keep the previous programming's counts — and
+// Profile.Events() / attacker feature vectors would silently include them.
+//
+// It must be called *after* the measure loop has written every programmed
+// event, so prof is a superset of the programmed set and the length check
+// alone decides whether stale keys exist: the steady-state path (same
+// Profile, unchanged programming) costs one comparison and no map
+// iteration, keeping the measure hot path at its 0-alloc nanosecond
+// budget. The delete loop itself is allocation-free.
+func (p *PMU) scrubStale(prof Profile) {
+	if len(prof) == len(p.events) {
+		return
+	}
+	for e := range prof {
+		if int(e) < 0 || int(e) >= march.NumEvents || !p.programmed[e] {
+			delete(prof, e)
+		}
+	}
 }
 
 // applyNoise applies measurement noise once per interval, mirroring a real
@@ -220,6 +250,7 @@ func (p *PMU) MeasureOnceInto(prof Profile, workload func()) error {
 	for _, e := range p.events {
 		prof[e] = float64(delta.Get(e))
 	}
+	p.scrubStale(prof)
 	p.applyNoise(prof)
 	return nil
 }

@@ -137,6 +137,63 @@ func TestMultiplexingSchedulesAllEventsWithScaling(t *testing.T) {
 	}
 }
 
+func TestReprogramScrubsStaleProfileKeys(t *testing.T) {
+	// A Profile reused across Program calls with different event sets must
+	// not keep the previous programming's counts: stale keys would leak
+	// into Profile.Events() and attacker feature vectors.
+	eng := newEngine(t)
+	p, _ := NewPMU(eng, 4)
+	if err := p.Program(march.EvInstructions, march.EvBranches); err != nil {
+		t.Fatal(err)
+	}
+	prof := Profile{}
+	work := func() { eng.Ops(100) }
+	if err := p.MeasureOnceInto(prof, work); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prof[march.EvBranches]; !ok {
+		t.Fatal("first programming did not record branches")
+	}
+
+	if err := p.Program(march.EvInstructions, march.EvCycles); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MeasureOnceInto(prof, work); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prof[march.EvBranches]; ok {
+		t.Fatalf("stale branches key survived reprogramming: %v", prof)
+	}
+	evs := prof.Events()
+	if len(evs) != 2 || evs[0] != march.EvCycles || evs[1] != march.EvInstructions {
+		t.Fatalf("Events() after reprogramming = %v, want [cycles instructions]", evs)
+	}
+
+	// The multiplexed Measure path scrubs too.
+	if err := p.Program(march.EvInstructions, march.EvBranches, march.EvCycles,
+		march.EvBusCycles, march.EvRefCycles); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MeasureInto(prof, 2, func(int) { eng.Ops(10) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 5 {
+		t.Fatalf("multiplexed profile has %d events, want 5: %v", len(prof), prof)
+	}
+	if err := p.Program(march.EvCacheMisses); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MeasureInto(prof, 1, func(int) { eng.Ops(10) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 1 {
+		t.Fatalf("profile after narrowing has %d events, want 1: %v", len(prof), prof)
+	}
+	if _, ok := prof[march.EvCacheMisses]; !ok {
+		t.Fatal("current programming's event missing after scrub")
+	}
+}
+
 func TestMeasureSliceValidation(t *testing.T) {
 	e := newEngine(t)
 	p, _ := NewPMU(e, 2)

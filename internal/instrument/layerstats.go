@@ -48,6 +48,23 @@ func (c *Classifier) ClassifyWithAttribution(img *tensor.Tensor) (int, []LayerCo
 	return pred, attribution, nil
 }
 
+// SummarizeAttribution reduces an attribution to the layer-count evidence
+// an architecture-fingerprinting analyst extracts (CSI-NN's observation:
+// layer boundaries and kinds are visible in the side-channel trace): the
+// number of instrumented layers and the layer-kind histogram. The runtime
+// pseudo-layer (index -1) is excluded.
+func SummarizeAttribution(attribution []LayerCounts) (layers int, kinds map[string]int) {
+	kinds = map[string]int{}
+	for _, lc := range attribution {
+		if lc.Index < 0 {
+			continue
+		}
+		layers++
+		kinds[lc.Kind]++
+	}
+	return layers, kinds
+}
+
 // RenderAttribution prints a per-layer table of selected events.
 func RenderAttribution(w io.Writer, attribution []LayerCounts, events ...march.Event) {
 	if len(events) == 0 {

@@ -506,6 +506,29 @@ func (e *Engine) Background(ops, branches, branchMisses, llcRefs, llcMisses uint
 	e.extraCycles += llcMisses*e.timing.MemPenalty + branchMisses*e.timing.MispredictPenalty
 }
 
+// Pad injects deterministic filler activity: ops/branches/mispredicts and
+// LLC references/misses like Background, plus raw stall cycles. It is the
+// envelope-padding primitive of the archid scenario's hardened
+// deployments — a serving loop that tops every classification up to a
+// fixed architecture-independent budget (dummy arithmetic, retired
+// no-op branches, cache-thrashing sweeps, fence/spin stalls). Unlike
+// Background it does not clamp branchMisses to branches: the pad deltas
+// are computed against a consistent envelope by the caller, and clamping
+// would silently break the equalization.
+func (e *Engine) Pad(ops, branches, branchMisses, llcRefs, llcMisses, stallCycles uint64) {
+	e.instructions += ops + branches
+	e.branches += branches
+	e.mispredicts += branchMisses
+	e.caches.Last().AddExternal(llcRefs, llcMisses)
+	e.extraCycles += stallCycles
+}
+
+// StallCycles returns the accumulated stall-cycle residue — the exact
+// non-base-CPI component of the cycle counter. Padding countermeasures
+// read it around a measured interval to extract the interval's stall
+// delta without reconstructing (and truncation-aliasing) it from Counts.
+func (e *Engine) StallCycles() uint64 { return e.extraCycles }
+
 // Counts derives every modeled event from the current architectural
 // state. The returned snapshot is monotonically increasing across calls.
 func (e *Engine) Counts() Counts {

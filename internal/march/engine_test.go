@@ -142,6 +142,36 @@ func TestOpsRetireInstructions(t *testing.T) {
 	}
 }
 
+func TestPadInjectsExactCounts(t *testing.T) {
+	e := newTestEngine(t)
+	before := e.Counts()
+	e.Pad(100, 40, 7, 30, 12, 555)
+	d := e.Counts().Sub(before)
+	if d.Get(EvInstructions) != 140 {
+		t.Fatalf("instructions delta = %d, want 140 (ops+branches)", d.Get(EvInstructions))
+	}
+	if d.Get(EvBranches) != 40 || d.Get(EvBranchMisses) != 7 {
+		t.Fatalf("branch deltas = %d/%d, want 40/7", d.Get(EvBranches), d.Get(EvBranchMisses))
+	}
+	if d.Get(EvCacheReferences) != 30 || d.Get(EvCacheMisses) != 12 {
+		t.Fatalf("LLC deltas = %d/%d, want 30/12", d.Get(EvCacheReferences), d.Get(EvCacheMisses))
+	}
+	// Cycle accounting is entirely the caller's: base CPI on the padded
+	// instructions plus exactly the requested stall — no hidden penalties
+	// (that is what lets the archid envelope pad equalize cycles exactly).
+	wantCycles := uint64(float64(140)*e.timing.BaseCPI) + 555
+	if d.Get(EvCycles) != wantCycles {
+		t.Fatalf("cycles delta = %d, want %d", d.Get(EvCycles), wantCycles)
+	}
+	// Unlike Background, branchMisses are not clamped to branches: the
+	// caller computes pads against a consistent envelope.
+	e2 := newTestEngine(t)
+	e2.Pad(0, 1, 5, 0, 0, 0)
+	if got := e2.Counts().Get(EvBranchMisses); got != 5 {
+		t.Fatalf("unclamped mispredict pad = %d, want 5", got)
+	}
+}
+
 func TestCyclesReflectStalls(t *testing.T) {
 	// A thrashing access pattern must cost more cycles per instruction
 	// than an L1-resident one.

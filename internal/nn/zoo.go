@@ -1,0 +1,209 @@
+package nn
+
+// The model zoo: the registry of candidate architectures the
+// architecture-fingerprinting stage (internal/archid) discriminates
+// between. CSI-NN (Batina et al.) demonstrates that layer counts and
+// hyper-parameters of a deployed network are recoverable from side
+// channels; the zoo provides the hypothesis space for that attack — a set
+// of plausible deployments differing along exactly the axes the paper's
+// threat model cares about: depth (MLP layer count, CNN conv-block
+// count), width (hidden sizes, conv channels) and topology (pooling on or
+// off).
+//
+// Construction is deterministic: Zoo.Build derives every weight from the
+// caller's seed alone, so two processes (or two pipeline shards) that
+// build the same spec from the same seed hold bit-identical networks.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Spec is one registered architecture: an identifier (the class label of
+// the archid stage), human-readable metadata, and a deterministic builder.
+type Spec struct {
+	// ID is the architecture's class label, assigned by registration order.
+	ID int
+	// Name identifies the architecture ("mlp-128-64", "cnn-8-16", ...).
+	Name string
+	// Family is the coarse topology family ("mlp" or "cnn").
+	Family string
+	// Depth/Width/Pool summarize the fingerprintable hyper-parameters:
+	// Depth counts weight layers (dense + conv), Width is the dominant
+	// hidden size or channel count, Pool reports pooling presence.
+	Depth, Width int
+	Pool         bool
+	// Layers is the length of the built layer stack (what per-layer
+	// attribution observes).
+	Layers int
+	// Build constructs the network with weights drawn from rng.
+	Build func(rng *rand.Rand) (*Network, error)
+}
+
+// Zoo is an ordered registry of architecture specs.
+type Zoo struct {
+	specs  []Spec
+	byName map[string]int
+}
+
+// NewZoo creates an empty registry.
+func NewZoo() *Zoo { return &Zoo{byName: map[string]int{}} }
+
+// Register adds a spec under the next free ID. Names must be unique; the
+// build function is probed once (with a throwaway RNG) so a malformed
+// architecture fails at registration, not mid-campaign.
+func (z *Zoo) Register(s Spec) error {
+	if s.Name == "" || s.Build == nil {
+		return fmt.Errorf("nn: zoo spec needs a name and a build function")
+	}
+	if _, dup := z.byName[s.Name]; dup {
+		return fmt.Errorf("nn: duplicate zoo spec %q", s.Name)
+	}
+	net, err := s.Build(rand.New(rand.NewSource(0)))
+	if err != nil {
+		return fmt.Errorf("nn: zoo spec %q does not build: %w", s.Name, err)
+	}
+	s.ID = len(z.specs)
+	s.Layers = len(net.Layers)
+	z.byName[s.Name] = s.ID
+	z.specs = append(z.specs, s)
+	return nil
+}
+
+// Specs returns the registered architectures in ID order.
+func (z *Zoo) Specs() []Spec { return z.specs }
+
+// Len returns the number of registered architectures.
+func (z *Zoo) Len() int { return len(z.specs) }
+
+// ByName resolves a spec by name.
+func (z *Zoo) ByName(name string) (Spec, bool) {
+	id, ok := z.byName[name]
+	if !ok {
+		return Spec{}, false
+	}
+	return z.specs[id], true
+}
+
+// ByID resolves a spec by class label.
+func (z *Zoo) ByID(id int) (Spec, bool) {
+	if id < 0 || id >= len(z.specs) {
+		return Spec{}, false
+	}
+	return z.specs[id], true
+}
+
+// Build constructs the identified architecture with weights derived from
+// seed alone — the deterministic construction the archid pipeline's
+// worker-invariance guarantee rests on.
+func (z *Zoo) Build(id int, seed int64) (*Network, error) {
+	s, ok := z.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("nn: zoo has no architecture %d", id)
+	}
+	return s.Build(rand.New(rand.NewSource(seed)))
+}
+
+// ConvNetArch is the generalized convolutional architecture behind the
+// zoo's CNN variants: Channels[i] output channels per conv block, each
+// block conv→ReLU(→2×2 pool when Pool), then flatten→dense.
+type ConvNetArch struct {
+	Name          string
+	InH, InW, InC int
+	Channels      []int
+	Kernel        int
+	Pool          bool
+	Classes       int
+}
+
+// BuildConvNet constructs the network for a generalized CNN architecture.
+func BuildConvNet(a ConvNetArch, rng *rand.Rand) (*Network, error) {
+	if a.Classes <= 1 {
+		return nil, fmt.Errorf("nn: convnet needs at least 2 classes, got %d", a.Classes)
+	}
+	if len(a.Channels) == 0 {
+		return nil, fmt.Errorf("nn: convnet needs at least one conv block")
+	}
+	if a.Kernel <= 0 {
+		return nil, fmt.Errorf("nn: convnet kernel must be positive, got %d", a.Kernel)
+	}
+	var layers []Layer
+	inH, inW, inC := a.InH, a.InW, a.InC
+	for i, outC := range a.Channels {
+		g := tensor.ConvGeom{InH: inH, InW: inW, InC: inC, K: a.Kernel, Stride: 1, Pad: 0, OutC: outC}
+		c, err := NewConv2D(g, rng)
+		if err != nil {
+			return nil, fmt.Errorf("nn: conv block %d: %w", i, err)
+		}
+		layers = append(layers, c, NewReLU(c.OutShape()))
+		s := c.OutShape()
+		if a.Pool {
+			p, err := NewMaxPool2(s)
+			if err != nil {
+				return nil, fmt.Errorf("nn: pool block %d: %w", i, err)
+			}
+			layers = append(layers, p)
+			s = p.OutShape()
+		}
+		inH, inW, inC = s[0], s[1], s[2]
+	}
+	flat := NewFlatten([]int{inH, inW, inC})
+	layers = append(layers, flat)
+	d, err := NewDense(flat.OutShape()[0], a.Classes, rng)
+	if err != nil {
+		return nil, fmt.Errorf("nn: dense: %w", err)
+	}
+	layers = append(layers, d)
+	return &Network{InShape: []int{a.InH, a.InW, a.InC}, Layers: layers, Classes: a.Classes}, nil
+}
+
+// DefaultZoo registers the reference hypothesis space for an input shape:
+// seven architectures spanning MLP depth/width, CNN conv count and
+// channel width, and pooling on/off. All specs share the input shape and
+// class count, so one dataset serves every candidate deployment.
+func DefaultZoo(inH, inW, inC, classes int) (*Zoo, error) {
+	z := NewZoo()
+	mlp := func(name string, hidden ...int) Spec {
+		a := MLPArch{Name: name, InH: inH, InW: inW, InC: inC, Hidden: hidden, Classes: classes}
+		width := 0
+		for _, h := range hidden {
+			if h > width {
+				width = h
+			}
+		}
+		return Spec{
+			Name: name, Family: "mlp", Depth: len(hidden) + 1, Width: width,
+			Build: func(rng *rand.Rand) (*Network, error) { return BuildMLP(a, rng) },
+		}
+	}
+	cnn := func(name string, pool bool, channels ...int) Spec {
+		a := ConvNetArch{Name: name, InH: inH, InW: inW, InC: inC,
+			Channels: channels, Kernel: 3, Pool: pool, Classes: classes}
+		width := 0
+		for _, c := range channels {
+			if c > width {
+				width = c
+			}
+		}
+		return Spec{
+			Name: name, Family: "cnn", Depth: len(channels) + 1, Width: width, Pool: pool,
+			Build: func(rng *rand.Rand) (*Network, error) { return BuildConvNet(a, rng) },
+		}
+	}
+	for _, s := range []Spec{
+		mlp("mlp-64", 64),                    // shallow, narrow
+		mlp("mlp-256", 256),                  // shallow, wide (width variant)
+		mlp("mlp-128-64", 128, 64),           // depth variant
+		cnn("cnn-8", true, 8),                // single conv block
+		cnn("cnn-8-16", true, 8, 16),         // the paper's MNIST shape
+		cnn("cnn-16-32", true, 16, 32),       // channel variant
+		cnn("cnn-8-16-nopool", false, 8, 16), // pooling off
+	} {
+		if err := z.Register(s); err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}

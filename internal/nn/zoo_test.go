@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDefaultZooRegistersDistinctArchitectures(t *testing.T) {
+	z, err := DefaultZoo(28, 28, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() < 6 {
+		t.Fatalf("zoo has %d architectures, want >= 6", z.Len())
+	}
+	seenName := map[string]bool{}
+	seenShape := map[[3]int]bool{} // (family-coded depth, width, layers) uniqueness proxy
+	for i, s := range z.Specs() {
+		if s.ID != i {
+			t.Fatalf("spec %q has ID %d at position %d", s.Name, s.ID, i)
+		}
+		if seenName[s.Name] {
+			t.Fatalf("duplicate name %q", s.Name)
+		}
+		seenName[s.Name] = true
+		if s.Layers <= 0 || s.Depth <= 0 || s.Width <= 0 {
+			t.Fatalf("spec %q missing metadata: %+v", s.Name, s)
+		}
+		key := [3]int{s.Depth, s.Width, s.Layers}
+		if s.Family == "cnn" {
+			key[0] += 100
+		}
+		if seenShape[key] {
+			t.Fatalf("spec %q duplicates another architecture's shape %v", s.Name, key)
+		}
+		seenShape[key] = true
+		byName, ok := z.ByName(s.Name)
+		if !ok || byName.ID != s.ID {
+			t.Fatalf("ByName(%q) = %+v, %v", s.Name, byName, ok)
+		}
+	}
+	if _, ok := z.ByName("no-such-arch"); ok {
+		t.Fatal("ByName resolved a non-existent spec")
+	}
+	if _, ok := z.ByID(z.Len()); ok {
+		t.Fatal("ByID resolved an out-of-range id")
+	}
+}
+
+func TestZooBuildDeterministic(t *testing.T) {
+	z, err := DefaultZoo(28, 28, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range z.Specs() {
+		a, err := z.Build(s.ID, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		b, err := z.Build(s.ID, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Layers) != s.Layers {
+			t.Fatalf("%s: built %d layers, spec says %d", s.Name, len(a.Layers), s.Layers)
+		}
+		pa, pb := a.Params(), b.Params()
+		if len(pa) != len(pb) {
+			t.Fatalf("%s: param groups differ", s.Name)
+		}
+		for i := range pa {
+			for j := range pa[i].Value.Data {
+				if pa[i].Value.Data[j] != pb[i].Value.Data[j] {
+					t.Fatalf("%s: same seed produced different weights (%s[%d])", s.Name, pa[i].Name, j)
+				}
+			}
+		}
+		c, err := z.Build(s.ID, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		pc := c.Params()
+		for j := range pa[0].Value.Data {
+			if pa[0].Value.Data[j] != pc[0].Value.Data[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical first-layer weights", s.Name)
+		}
+	}
+}
+
+func TestZooNetworksForward(t *testing.T) {
+	z, err := DefaultZoo(28, 28, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(28, 28, 1)
+	rng := rand.New(rand.NewSource(9))
+	for i := range img.Data {
+		img.Data[i] = float32(rng.Float64())
+	}
+	for _, s := range z.Specs() {
+		net, err := z.Build(s.ID, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, probs, err := net.Predict(img)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if cls < 0 || cls >= 10 || probs.Len() != 10 {
+			t.Fatalf("%s: prediction %d over %d probs", s.Name, cls, probs.Len())
+		}
+	}
+}
+
+func TestZooRegisterValidation(t *testing.T) {
+	z := NewZoo()
+	if err := z.Register(Spec{Name: "", Build: nil}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	bad := Spec{Name: "bad", Build: func(rng *rand.Rand) (*Network, error) {
+		return BuildMLP(MLPArch{Name: "bad", InH: 0, InW: 0, InC: 0, Classes: 10}, rng)
+	}}
+	if err := z.Register(bad); err == nil {
+		t.Fatal("unbuildable spec accepted")
+	}
+	ok := Spec{Name: "ok", Family: "mlp", Depth: 1, Width: 8, Build: func(rng *rand.Rand) (*Network, error) {
+		return BuildMLP(MLPArch{Name: "ok", InH: 4, InW: 4, InC: 1, Hidden: []int{8}, Classes: 2}, rng)
+	}}
+	if err := z.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Register(ok); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := z.Build(99, 1); err == nil {
+		t.Fatal("Build of unknown id accepted")
+	}
+}
+
+func TestBuildConvNetValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BuildConvNet(ConvNetArch{InH: 8, InW: 8, InC: 1, Channels: []int{4}, Kernel: 3, Classes: 1}, rng); err == nil {
+		t.Fatal("single-class convnet accepted")
+	}
+	if _, err := BuildConvNet(ConvNetArch{InH: 8, InW: 8, InC: 1, Kernel: 3, Classes: 10}, rng); err == nil {
+		t.Fatal("convnet without conv blocks accepted")
+	}
+	if _, err := BuildConvNet(ConvNetArch{InH: 8, InW: 8, InC: 1, Channels: []int{4}, Classes: 10}, rng); err == nil {
+		t.Fatal("zero kernel accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/attack"
+	"repro/internal/core"
 	"repro/internal/hpc"
 	"repro/internal/tensor"
 )
@@ -18,6 +19,29 @@ func (p *Pipeline) CollectProfiles(ctx context.Context, factory TargetFactory, p
 	if factory == nil {
 		return nil, fmt.Errorf("pipeline: nil target factory")
 	}
+	return p.CollectProfilesByClass(ctx, func(_ int, seed int64) (core.Target, error) {
+		return factory(seed)
+	}, perClass)
+}
+
+// ClassTargetFactory builds a fresh, self-contained target for one shard
+// of the given class. It is the class-aware generalization of
+// TargetFactory for campaigns where the class label selects *which victim
+// is deployed* rather than which input it classifies — the architecture-
+// fingerprinting scenario, where class c is model architecture c. The
+// same contract applies: every source of randomness in the target must
+// derive from seed alone.
+type ClassTargetFactory func(class int, seed int64) (core.Target, error)
+
+// CollectProfilesByClass is CollectProfiles with a class-aware factory:
+// shard workers deploy factory(shard.Class, shard.Seed), so each class's
+// observations can come from a different victim (a different model
+// architecture) while riding the exact same shard plan, derived seeds and
+// deterministic (class, run) merge.
+func (p *Pipeline) CollectProfilesByClass(ctx context.Context, factory ClassTargetFactory, perClass map[int][]*tensor.Tensor) (map[int][]hpc.Profile, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("pipeline: nil target factory")
+	}
 	shards, err := p.ev.PlanShards(perClass, p.cfg.RootSeed, p.cfg.ShardRuns)
 	if err != nil {
 		return nil, err
@@ -25,7 +49,7 @@ func (p *Pipeline) CollectProfiles(ctx context.Context, factory TargetFactory, p
 	parts := make([][]hpc.Profile, len(shards))
 	err = p.forEach(ctx, len(shards), func(ctx context.Context, i int) error {
 		sh := shards[i]
-		target, err := factory(sh.Seed)
+		target, err := factory(sh.Class, sh.Seed)
 		if err != nil {
 			return fmt.Errorf("pipeline: shard %d target: %w", sh.Index, err)
 		}

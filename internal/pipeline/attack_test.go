@@ -3,10 +3,16 @@ package pipeline
 import (
 	"context"
 	"encoding/json"
+	"math/rand"
 	"reflect"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/march"
+	"repro/internal/march/cache"
+	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // TestAttackDeterminismAcrossWorkerCounts is the attack stage's core
@@ -140,5 +146,77 @@ func TestCollectProfilesMatchesCollect(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestCollectProfilesByClass deploys a *different* victim per class — the
+// architecture-fingerprinting shape, where the class label selects the
+// model — and checks that every class's observations come from its own
+// victim and that the result is worker-invariant.
+func TestCollectProfilesByClass(t *testing.T) {
+	// Three networks of clearly different size: per-class instruction
+	// counts must order accordingly.
+	nets := make([]*nn.Network, 3)
+	for i, conv := range []int{2, 4, 8} {
+		net, err := nn.Build(nn.Arch{Name: "tiny", InH: 12, InW: 12, InC: 1,
+			Conv1: conv, Conv2: conv, Kernel: 3, Classes: 3}, rand.New(rand.NewSource(int64(2+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = net
+	}
+	factory := func(class int, seed int64) (core.Target, error) {
+		h, err := cache.NewHierarchy(
+			cache.Config{Name: "L1D", Size: 512, LineSize: 64, Assoc: 2, Policy: cache.TreePLRU},
+			cache.Config{Name: "L2", Size: 1024, LineSize: 64, Assoc: 2, Policy: cache.TreePLRU},
+			cache.Config{Name: "LLC", Size: 2048, LineSize: 64, Assoc: 4, Policy: cache.LRU},
+		)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := march.NewEngine(march.Config{Hierarchy: h, Noise: march.DefaultNoise(seed)})
+		if err != nil {
+			return nil, err
+		}
+		return instrument.New(nets[class], eng, instrument.Options{SparsitySkip: true, Seed: seed})
+	}
+	// Every class observes the *same* input pool: the only difference
+	// between classes is the deployed architecture.
+	shared := classImages(1, 4, 100)
+	pools := map[int][]*tensor.Tensor{0: shared, 1: shared, 2: shared}
+	evCfg := core.Config{Events: []march.Event{march.EvInstructions}, RunsPerClass: 10, WarmupRuns: 1}
+
+	run := func(workers int) map[int][]float64 {
+		p := newPipeline(t, evCfg, Config{Workers: workers, RootSeed: 11, ShardRuns: 4})
+		byClass, err := p.CollectProfilesByClass(context.Background(), factory, pools)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[int][]float64{}
+		for cls, profs := range byClass {
+			for _, prof := range profs {
+				out[cls] = append(out[cls], prof.Get(march.EvInstructions))
+			}
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("class-aware collection differs across worker counts:\n  workers=1: %v\n  workers=8: %v", seq, par)
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	m0, m1, m2 := mean(seq[0]), mean(seq[1]), mean(seq[2])
+	if !(m0 < m1 && m1 < m2) {
+		t.Fatalf("per-class instruction means not ordered by architecture size: %v %v %v", m0, m1, m2)
+	}
+	if _, err := newPipeline(t, evCfg, Config{}).CollectProfilesByClass(context.Background(), nil, pools); err == nil {
+		t.Fatal("nil class factory accepted")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/archid"
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/march"
@@ -173,6 +174,74 @@ func AttackSummary(w io.Writer, r *attack.Result) error {
 		return err
 	}
 	return Confusion(w, fmt.Sprintf("%d-NN attack:", r.K), r.KNN)
+}
+
+// ZooTable renders the fingerprinting hypothesis space: one row per
+// candidate architecture with its class label and hyper-parameters.
+func ZooTable(w io.Writer, specs []archid.SpecInfo) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("report: empty zoo")
+	}
+	fmt.Fprintf(w, "  %-4s%-18s%-8s%8s%8s%8s%8s\n", "id", "architecture", "family", "depth", "width", "pool", "layers")
+	for _, s := range specs {
+		pool := "-"
+		if s.Pool {
+			pool = "yes"
+		}
+		fmt.Fprintf(w, "  %-4d%-18s%-8s%8d%8d%8s%8d\n", s.ID, s.Name, s.Family, s.Depth, s.Width, pool, s.Layers)
+	}
+	return nil
+}
+
+// LayerEvidenceTable renders the per-architecture layer evidence: the
+// CSI-NN-style layer counts and kind histograms an instrumenting analyst
+// recovers alongside the counter-level fingerprint.
+func LayerEvidenceTable(w io.Writer, evidence []archid.LayerEvidence) error {
+	if len(evidence) == 0 {
+		return fmt.Errorf("report: empty layer evidence")
+	}
+	fmt.Fprintf(w, "  %-4s%-18s%8s  %s\n", "id", "architecture", "layers", "kinds")
+	for _, ev := range evidence {
+		kinds := make([]string, 0, len(ev.Kinds))
+		for k := range ev.Kinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = fmt.Sprintf("%s×%d", k, ev.Kinds[k])
+		}
+		fmt.Fprintf(w, "  %-4d%-18s%8d  %s\n", ev.ArchID, ev.Name, ev.Layers, strings.Join(parts, " "))
+	}
+	return nil
+}
+
+// ArchIDSummary renders a full fingerprinting result: the zoo, both
+// attackers' confusion matrices over architecture labels, and the layer
+// evidence.
+func ArchIDSummary(w io.Writer, r *archid.Result) error {
+	names := make([]string, len(r.Attack.Events))
+	for i, e := range r.Attack.Events {
+		names[i] = e.String()
+	}
+	pad := ""
+	if r.Padded {
+		pad = ", envelope-padded"
+	}
+	fmt.Fprintf(w, "archid campaign %s: events %s, %d profiling + %d attack runs per architecture, kNN k=%d (defense %s%s)\n",
+		r.Attack.Name, strings.Join(names, ","), r.Attack.ProfileRuns, r.Attack.AttackRuns, r.Attack.K, r.Level, pad)
+	fmt.Fprintln(w, "candidate zoo:")
+	if err := ZooTable(w, r.Specs); err != nil {
+		return err
+	}
+	if err := Confusion(w, "gaussian template attack (architecture recovery):", r.Attack.Template); err != nil {
+		return err
+	}
+	if err := Confusion(w, fmt.Sprintf("%d-NN attack (architecture recovery):", r.Attack.K), r.Attack.KNN); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "layer evidence (instrumented attribution):")
+	return LayerEvidenceTable(w, r.Evidence)
 }
 
 // HistogramPanel renders the per-class distributions of one event as

@@ -5,8 +5,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/archid"
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/defense"
 	"repro/internal/march"
 	"repro/internal/stats"
 )
@@ -207,6 +209,55 @@ func TestAttackSummaryRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("attack summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestArchIDSummaryRendering(t *testing.T) {
+	res := &archid.Result{
+		Attack: &attack.Result{
+			Name:        "mnist-archid/constant-time",
+			Events:      []march.Event{march.EvCacheMisses, march.EvBranches},
+			Classes:     []int{0, 1},
+			ProfileRuns: 8,
+			AttackRuns:  4,
+			K:           5,
+			Template:    attack.NewConfusionMatrix([]int{0, 1}),
+			KNN:         attack.NewConfusionMatrix([]int{0, 1}),
+		},
+		Specs: []archid.SpecInfo{
+			{ID: 0, Name: "mlp-64", Family: "mlp", Depth: 2, Width: 64, Layers: 4},
+			{ID: 1, Name: "cnn-8-16", Family: "cnn", Depth: 3, Width: 16, Pool: true, Layers: 8},
+		},
+		Evidence: []archid.LayerEvidence{
+			{ArchID: 0, Name: "mlp-64", Layers: 4, Kinds: map[string]int{"dense": 2, "relu": 1, "flatten": 1}},
+			{ArchID: 1, Name: "cnn-8-16", Layers: 8, Kinds: map[string]int{"conv": 2, "relu": 2, "pool": 2, "flatten": 1, "dense": 1}},
+		},
+		Level:  defense.ConstantTime,
+		Padded: true,
+	}
+	for _, cm := range []*attack.ConfusionMatrix{res.Attack.Template, res.Attack.KNN} {
+		cm.Record(0, 0)
+		cm.Record(1, 1)
+	}
+	var b strings.Builder
+	if err := ArchIDSummary(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"mnist-archid/constant-time", "envelope-padded", "candidate zoo:",
+		"mlp-64", "cnn-8-16", "architecture recovery", "layer evidence",
+		"conv×2", "dense×2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("archid summary missing %q:\n%s", want, out)
+		}
+	}
+	if err := ZooTable(&b, nil); err == nil {
+		t.Fatal("empty zoo accepted")
+	}
+	if err := LayerEvidenceTable(&b, nil); err == nil {
+		t.Fatal("empty evidence accepted")
 	}
 }
 

@@ -53,6 +53,17 @@ type SweepConfig struct {
 	// AttackRuns is the held-out attack observations per class when Attack
 	// is set; 0 derives half the cell's trace budget (minimum 10).
 	AttackRuns int
+	// ArchID additionally runs the architecture-fingerprinting stage per
+	// cell: the default zoo is deployed at the cell's defense level, the
+	// attackers profile with the cell's trace budget per architecture, and
+	// the cell reports architecture-recovery accuracy next to the
+	// input-recovery columns — the same defenses scored on a different
+	// secret (the model, not the input).
+	ArchID bool
+	// ArchIDRuns is the held-out fingerprinting observations per
+	// architecture when ArchID is set; 0 derives half the cell's trace
+	// budget (minimum 10).
+	ArchIDRuns int
 	// Scenario is the template for per-dataset scenario construction
 	// (Dataset and Defense are overridden per grid point).
 	Scenario ScenarioConfig
@@ -103,7 +114,13 @@ type SweepResult struct {
 	AttackRuns  int     `json:"attack_runs"`
 	TemplateAcc float64 `json:"template_acc"`
 	KNNAcc      float64 `json:"knn_acc"`
-	WallMS      int64   `json:"wall_ms"`
+	// ArchID-stage columns: architecture-recovery accuracy of both
+	// attackers over ArchIDRuns held-out observations per architecture
+	// (same stage-not-run convention as the attack columns).
+	ArchIDRuns        int     `json:"archid_runs"`
+	ArchIDTemplateAcc float64 `json:"archid_template_acc"`
+	ArchIDKNNAcc      float64 `json:"archid_knn_acc"`
+	WallMS            int64   `json:"wall_ms"`
 }
 
 // SweepGrid is the full sweep output.
@@ -213,13 +230,7 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 			}
 			var atk *AttackResult
 			if cfg.Attack {
-				atkRuns := cfg.AttackRuns
-				if atkRuns <= 0 {
-					atkRuns = cl.runs / 2
-					if atkRuns < 10 {
-						atkRuns = 10
-					}
-				}
+				atkRuns := derivedHoldout(cfg.AttackRuns, cl.runs)
 				atk, err = scenarios[cl.dataset].AttackGrouped(ctx, cl.defense, AttackConfig{
 					Classes:     cfg.Classes,
 					Events:      cl.events,
@@ -235,7 +246,24 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					return
 				}
 			}
-			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, atk, time.Since(start))
+			var arch *ArchIDResult
+			if cfg.ArchID {
+				archRuns := derivedHoldout(cfg.ArchIDRuns, cl.runs)
+				arch, err = scenarios[cl.dataset].ArchIDGrouped(ctx, cl.defense, ArchIDConfig{
+					Events:      cl.events,
+					ProfileRuns: cl.runs,
+					AttackRuns:  archRuns,
+					Workers:     cfg.Workers,
+					// Domain 4 keeps archid observations disjoint from the
+					// cell's evaluation (0) and attack (3) campaigns.
+					Seed: core.DeriveSeed(cfg.Seed, cl.index, 4),
+				})
+				if err != nil {
+					fail(fmt.Errorf("sweep archid: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
+					return
+				}
+			}
+			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, atk, arch, time.Since(start))
 			grid.Results[cl.index] = res
 			if progress != nil {
 				progressMu.Lock()
@@ -328,7 +356,23 @@ func (s *Scenario) EvaluateGrouped(ctx context.Context, level DefenseLevel, cfg 
 	return merged, nil
 }
 
-func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int, rep *core.Report, atk *AttackResult, wall time.Duration) SweepResult {
+// derivedHoldout resolves a held-out observation budget for a cell's
+// exploitation stages: the configured value, or half the cell's trace
+// budget with a 10-run floor — shared by the attack and archid columns so
+// the two stages can never silently derive different budgets from the
+// same convention.
+func derivedHoldout(configured, cellRuns int) int {
+	if configured > 0 {
+		return configured
+	}
+	n := cellRuns / 2
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int, rep *core.Report, atk *AttackResult, arch *ArchIDResult, wall time.Duration) SweepResult {
 	res := SweepResult{
 		Dataset:  string(d),
 		Defense:  level.String(),
@@ -358,13 +402,18 @@ func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int
 		res.TemplateAcc = atk.Template.Accuracy()
 		res.KNNAcc = atk.KNN.Accuracy()
 	}
+	if arch != nil {
+		res.ArchIDRuns = arch.Attack.AttackRuns
+		res.ArchIDTemplateAcc = arch.Attack.Template.Accuracy()
+		res.ArchIDKNNAcc = arch.Attack.KNN.Accuracy()
+	}
 	return res
 }
 
 // WriteCSV emits the grid as a CSV table.
 func (g *SweepGrid) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"dataset", "defense", "runs", "events", "event_count", "tests", "alarms", "leaky", "min_p", "max_abs_t", "attack_runs", "template_acc", "knn_acc", "wall_ms"}); err != nil {
+	if err := cw.Write([]string{"dataset", "defense", "runs", "events", "event_count", "tests", "alarms", "leaky", "min_p", "max_abs_t", "attack_runs", "template_acc", "knn_acc", "archid_runs", "archid_template_acc", "archid_knn_acc", "wall_ms"}); err != nil {
 		return err
 	}
 	for _, r := range g.Results {
@@ -374,6 +423,12 @@ func (g *SweepGrid) WriteCSV(w io.Writer) error {
 			templateAcc = strconv.FormatFloat(r.TemplateAcc, 'g', 6, 64)
 			knnAcc = strconv.FormatFloat(r.KNNAcc, 'g', 6, 64)
 		}
+		archidRuns, archidTemplateAcc, archidKNNAcc := "", "", ""
+		if r.ArchIDRuns > 0 {
+			archidRuns = strconv.Itoa(r.ArchIDRuns)
+			archidTemplateAcc = strconv.FormatFloat(r.ArchIDTemplateAcc, 'g', 6, 64)
+			archidKNNAcc = strconv.FormatFloat(r.ArchIDKNNAcc, 'g', 6, 64)
+		}
 		rec := []string{
 			r.Dataset, r.Defense, strconv.Itoa(r.Runs), r.EventSet,
 			strconv.Itoa(r.Events), strconv.Itoa(r.Tests), strconv.Itoa(r.Alarms),
@@ -381,6 +436,7 @@ func (g *SweepGrid) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(r.MinP, 'g', 6, 64),
 			strconv.FormatFloat(r.MaxAbsT, 'g', 6, 64),
 			attackRuns, templateAcc, knnAcc,
+			archidRuns, archidTemplateAcc, archidKNNAcc,
 			strconv.FormatInt(r.WallMS, 10),
 		}
 		if err := cw.Write(rec); err != nil {

@@ -20,6 +20,7 @@ func smallSweepConfig() SweepConfig {
 		CellParallel: 2,
 		Seed:         3,
 		Attack:       true,
+		ArchID:       true,
 		Scenario: ScenarioConfig{
 			PerClassTrain: 20,
 			PerClassTest:  10,
@@ -60,6 +61,28 @@ func TestSweepGridShape(t *testing.T) {
 		if r.TemplateAcc < 0 || r.TemplateAcc > 1 || r.KNNAcc < 0 || r.KNNAcc > 1 {
 			t.Fatalf("cell %d: accuracies outside [0,1]: %+v", i, r)
 		}
+		// ArchID-stage columns follow the same budget derivation.
+		if r.ArchIDRuns != 10 {
+			t.Fatalf("cell %d: archid_runs %d, want 10", i, r.ArchIDRuns)
+		}
+		if r.ArchIDTemplateAcc < 0 || r.ArchIDTemplateAcc > 1 || r.ArchIDKNNAcc < 0 || r.ArchIDKNNAcc > 1 {
+			t.Fatalf("cell %d: archid accuracies outside [0,1]: %+v", i, r)
+		}
+		// The defense levels score differently on the model secret: the
+		// baseline cells fingerprint the architecture nearly perfectly,
+		// the (envelope-padded) constant-time cells sit near the 1/7
+		// chance level.
+		const chance = 1.0 / 7
+		switch r.Defense {
+		case "baseline":
+			if r.ArchIDTemplateAcc < 3*chance {
+				t.Fatalf("cell %d: baseline archid recovery %.3f below 3x chance", i, r.ArchIDTemplateAcc)
+			}
+		case "constant-time":
+			if r.ArchIDTemplateAcc > 2.5*chance {
+				t.Fatalf("cell %d: padded constant-time archid recovery %.3f above 2.5x chance", i, r.ArchIDTemplateAcc)
+			}
+		}
 	}
 	// Grid order is deterministic: defense-major, then budget.
 	if grid.Results[0].Defense != "baseline" || grid.Results[0].Runs != 8 ||
@@ -78,6 +101,9 @@ func TestSweepGridShape(t *testing.T) {
 	if !strings.Contains(lines[0], "template_acc,knn_acc") {
 		t.Fatalf("CSV header missing attack accuracy columns:\n%s", lines[0])
 	}
+	if !strings.Contains(lines[0], "archid_runs,archid_template_acc,archid_knn_acc") {
+		t.Fatalf("CSV header missing archid columns:\n%s", lines[0])
+	}
 
 	var js strings.Builder
 	if err := grid.WriteJSON(&js); err != nil {
@@ -93,22 +119,29 @@ func TestSweepGridShape(t *testing.T) {
 }
 
 // TestSweepCSVAttackColumnsEmptyWhenDisabled: grids evaluated without the
-// attack stage must leave the accuracy columns blank, not report 0%.
+// attack or archid stages must leave those accuracy columns blank, not
+// report 0%.
 func TestSweepCSVAttackColumnsEmptyWhenDisabled(t *testing.T) {
 	g := &SweepGrid{Results: []SweepResult{
 		{Dataset: "mnist", Defense: "baseline", Runs: 10, EventSet: "base", MinP: 1},
 		{Dataset: "mnist", Defense: "baseline", Runs: 10, EventSet: "base", MinP: 1, AttackRuns: 10, TemplateAcc: 0.5, KNNAcc: 0.25},
+		{Dataset: "mnist", Defense: "baseline", Runs: 10, EventSet: "base", MinP: 1,
+			AttackRuns: 10, TemplateAcc: 0.5, KNNAcc: 0.25,
+			ArchIDRuns: 12, ArchIDTemplateAcc: 0.875, ArchIDKNNAcc: 0.75},
 	}}
 	var b strings.Builder
 	if err := g.WriteCSV(&b); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if !strings.Contains(lines[1], ",,,,") {
-		t.Fatalf("disabled attack stage should leave blank columns: %s", lines[1])
+	if !strings.Contains(lines[1], ",,,,,,") {
+		t.Fatalf("disabled stages should leave blank columns: %s", lines[1])
 	}
-	if !strings.Contains(lines[2], ",10,0.5,0.25,") {
-		t.Fatalf("enabled attack stage should fill the columns: %s", lines[2])
+	if !strings.Contains(lines[2], ",10,0.5,0.25,,,,") {
+		t.Fatalf("attack-only row should fill attack columns and leave archid blank: %s", lines[2])
+	}
+	if !strings.Contains(lines[3], ",10,0.5,0.25,12,0.875,0.75,") {
+		t.Fatalf("both stages enabled should fill all columns: %s", lines[3])
 	}
 }
 
