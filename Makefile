@@ -4,16 +4,17 @@
 # counts), a short hot-path benchmark smoke so ns/op regressions fail
 # fast, and a one-iteration benchmark pass (which also regenerates the
 # paper's tables and figures once and exercises the attack and
-# architecture-fingerprinting stages at both worker counts via
-# BenchmarkAttackStage and BenchmarkArchIDStage).
+# architecture-fingerprinting and topology-recovery stages at both
+# worker counts via BenchmarkAttackStage, BenchmarkArchIDStage and
+# BenchmarkTopoStage).
 
 GO ?= go
 
 # PR number stamped into the benchmark trajectory snapshot.
-BENCH_PR ?= 4
+BENCH_PR ?= 5
 BENCH_JSON ?= BENCH_PR$(BENCH_PR).json
 # Key micro/campaign benches tracked across PRs.
-BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage
+BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage|BenchmarkTopoStage
 
 .PHONY: all build vet test race bench bench-json allocgate benchsmoke ci golden
 
@@ -50,10 +51,10 @@ allocgate:
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess$$|BenchmarkClassifyMNIST$$' -benchtime=100x .
 
-# Regenerate all three golden reports (end-to-end evaluation, attack
-# stage, architecture fingerprinting) after a *deliberate* behavior
-# change (review the diff before committing it).
+# Regenerate all four golden reports (end-to-end evaluation, attack
+# stage, architecture fingerprinting, topology recovery) after a
+# *deliberate* behavior change (review the diff before committing it).
 golden:
-	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport' -update .
+	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport|TestTopoGoldenReport' -update .
 
 ci: vet build race allocgate benchsmoke bench

@@ -525,6 +525,38 @@ func BenchmarkArchIDStage(b *testing.B) {
 	}
 }
 
+// BenchmarkTopoStage runs the topology-recovery stage — attacker models
+// fitted on a training zoo, a disjoint held-out zoo reconstructed
+// layer-by-layer and validated through the class-aware pipeline — at both
+// worker counts, extending the trajectory alongside the evaluation,
+// attack and archid stages. Recovery metrics are identical across worker
+// counts for the same seed.
+func BenchmarkTopoStage(b *testing.B) {
+	s, err := DefaultScenario(DatasetMNIST)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := s.Topo(context.Background(), TopoConfig{
+					TrainZoo:  6,
+					Holdout:   5,
+					Runs:      6,
+					MaxInputs: 8,
+					Workers:   workers,
+					Seed:      17,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ExactCountRate, "exact_rate")
+				b.ReportMetric(res.MeanKindAccuracy, "kind_acc")
+			}
+		})
+	}
+}
+
 // --- Micro benchmarks: per-operation simulation costs. ---
 
 // BenchmarkClassifyMNIST measures one instrumented MNIST classification.

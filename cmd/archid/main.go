@@ -38,7 +38,7 @@ func main() {
 	log.SetPrefix("archid: ")
 	var (
 		dsName      = flag.String("dataset", "mnist", "dataset: mnist or cifar")
-		defName     = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		defName     = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection, padded-envelope")
 		events      = flag.String("events", "base", "event set (base, fig2b, extended) or comma-separated event list")
 		profileRuns = flag.Int("profile-runs", 40, "profiling observations per architecture (the adversary's training budget)")
 		attackRuns  = flag.Int("attack-runs", 20, "held-out observations per architecture the attackers are scored on")

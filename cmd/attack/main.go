@@ -33,7 +33,7 @@ func main() {
 	log.SetPrefix("attack: ")
 	var (
 		dsName      = flag.String("dataset", "mnist", "dataset: mnist or cifar")
-		defName     = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		defName     = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection, padded-envelope")
 		events      = flag.String("events", "base", "event set (base, fig2b, extended) or comma-separated event list")
 		profileRuns = flag.Int("profile-runs", 100, "profiling observations per category (the adversary's training budget)")
 		attackRuns  = flag.Int("attack-runs", 60, "held-out observations per category the attackers are scored on")

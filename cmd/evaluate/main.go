@@ -33,7 +33,7 @@ func main() {
 		dsName  = flag.String("dataset", "mnist", "dataset: mnist or cifar")
 		runs    = flag.Int("runs", 300, "monitored classifications per category")
 		classes = flag.String("classes", "1,2,3,4", "comma-separated category labels")
-		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection, padded-envelope")
 		alpha   = flag.Float64("alpha", 0.05, "significance level")
 		csvPath = flag.String("csv", "", "write raw distributions to this CSV file")
 		events  = flag.String("events", "base", "event set (base, fig2b, extended) or comma-separated event list")

@@ -34,7 +34,7 @@ func main() {
 	var (
 		fig     = flag.String("fig", "all", "figure id: 1a,1b,2b,3a,3b,4a,4b,all")
 		runs    = flag.Int("runs", 300, "classifications per category")
-		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection, padded-envelope")
 		workers = flag.Int("workers", -1, "pipeline workers; -1 = GOMAXPROCS, 0 = legacy sequential path")
 		seed    = flag.Int64("seed", 0, "pipeline root seed; 0 = scenario seed")
 	)

@@ -34,7 +34,7 @@ func main() {
 	log.SetPrefix("perfstat: ")
 	var (
 		dsName  = flag.String("dataset", "mnist", "dataset: mnist or cifar")
-		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection")
+		defName = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection, padded-envelope")
 		seed    = flag.Int64("seed", 0, "scenario seed; 0 = default")
 		evList  = flag.String("e", strings.Join(eventNames(), ","), "comma-separated event list")
 		runs    = flag.Int("runs", 1, "classifications to observe (averaged)")

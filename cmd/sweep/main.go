@@ -10,7 +10,8 @@
 //	sweep [-datasets mnist] [-defenses baseline,constant-time] [-runs 50,100,200]
 //	      [-events "base;fig2b"] [-classes 1,2,3,4] [-alpha 0.05]
 //	      [-workers N] [-cell-parallel 2] [-seed 1] [-attack] [-attack-runs N]
-//	      [-archid] [-archid-runs N] [-format csv|json] [-o grid.csv]
+//	      [-archid] [-archid-runs N] [-topo] [-topo-holdout N]
+//	      [-format csv|json] [-o grid.csv]
 //
 // Event sets are separated by semicolons; each set is a named set (base,
 // fig2b, extended) or a comma-separated perf-style event list. Sets wider
@@ -49,6 +50,8 @@ func main() {
 		attackRuns   = flag.Int("attack-runs", 0, "held-out attack observations per class (0 = half the cell's budget, min 10)")
 		archidStage  = flag.Bool("archid", false, "run the architecture-fingerprinting stage per cell (archid_template_acc/archid_knn_acc columns)")
 		archidRuns   = flag.Int("archid-runs", 0, "held-out fingerprinting observations per architecture (0 = half the cell's budget, min 10)")
+		topoStage    = flag.Bool("topo", false, "run the topology-recovery stage per cell (topo_exact_rate/topo_kind_acc columns)")
+		topoHoldout  = flag.Int("topo-holdout", 0, "held-out victim architectures per cell (0 = topo default)")
 		format       = flag.String("format", "csv", "output format: csv or json")
 		out          = flag.String("o", "", "output file (default stdout)")
 		perTrain     = flag.Int("train", 0, "per-class training images (0 = paper default)")
@@ -76,6 +79,8 @@ func main() {
 		AttackRuns:   *attackRuns,
 		ArchID:       *archidStage,
 		ArchIDRuns:   *archidRuns,
+		Topo:         *topoStage,
+		TopoHoldout:  *topoHoldout,
 		Scenario: repro.ScenarioConfig{
 			PerClassTrain: *perTrain,
 			PerClassTest:  *perTest,
@@ -108,6 +113,9 @@ func main() {
 		}
 		if r.ArchIDRuns > 0 {
 			attackInfo += fmt.Sprintf(", archid %.0f%%/%.0f%%", 100*r.ArchIDTemplateAcc, 100*r.ArchIDKNNAcc)
+		}
+		if r.TopoVictims > 0 {
+			attackInfo += fmt.Sprintf(", topo %.0f%%/%.0f%%", 100*r.TopoExactRate, 100*r.TopoKindAcc)
 		}
 		fmt.Fprintf(os.Stderr, "  [%d/%d] %s/%s runs=%d events=%s: %d alarms%s (%.0f ms)\n",
 			done, total, r.Dataset, r.Defense, r.Runs, r.EventSet, r.Alarms, attackInfo, float64(r.WallMS))

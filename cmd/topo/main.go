@@ -1,0 +1,142 @@
+// Command topo runs the topology-recovery stage: attacker models
+// (segmenter, per-segment kind classifier, hyper-parameter estimators)
+// are fitted on a training zoo of random architectures, then a disjoint
+// held-out zoo of victims — architectures the attacker has never profiled
+// — is reconstructed layer-by-layer from the flat side-channel trace and
+// validated against measured pipeline profiles. This is the CSI-NN-style
+// full reverse engineering the archid stage's zoo lookup stops short of.
+//
+// Usage:
+//
+//	topo -dataset mnist [-defense baseline] [-events instructions,L1-dcache-loads]
+//	     [-train-zoo 8] [-holdout 6] [-runs 8] [-quantum 5000]
+//	     [-workers N] [-seed 1] [-max-inputs 0] [-json out.json]
+//
+// All observations derive from -seed via per-shard seed derivation, so
+// any -workers value reproduces byte-identical results. Under -defense
+// padded-envelope every victim is padded to the holdout zoo's footprint
+// envelope and the reconstruction collapses to chance.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro"
+	"repro/internal/hpc"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topo: ")
+	var (
+		dsName    = flag.String("dataset", "mnist", "dataset: mnist or cifar")
+		defName   = flag.String("defense", "baseline", "defense level: baseline, dense-execution, constant-time, noise-injection, padded-envelope")
+		events    = flag.String("events", "instructions,L1-dcache-loads", "event set (base, fig2b, extended) or comma-separated event list")
+		trainZoo  = flag.Int("train-zoo", 8, "training-zoo size (architectures the attacker profiles)")
+		holdout   = flag.Int("holdout", 6, "held-out victim count (never-profiled architectures)")
+		runs      = flag.Int("runs", 8, "measured pipeline observations per victim")
+		quantum   = flag.Uint64("quantum", 0, "trace-sampling quantum in instructions; 0 = default")
+		workers   = flag.Int("workers", 0, "pipeline workers; 0 = GOMAXPROCS")
+		seed      = flag.Int64("seed", 0, "campaign root seed; 0 = scenario seed")
+		maxInputs = flag.Int("max-inputs", 0, "cap on the shared input pool; 0 = all test images")
+		jsonPath  = flag.String("json", "", "write the result as JSON to this file")
+	)
+	flag.Parse()
+
+	level, err := repro.ParseDefense(*defName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evs, err := hpc.ParseEventSpec(*events)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	s, err := repro.NewScenario(repro.ScenarioConfig{Dataset: repro.Dataset(*dsName)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructing %d held-out architectures (training zoo %d) on %s inputs at defense %s...\n\n",
+		*holdout, *trainZoo, *dsName, level)
+
+	res, err := s.TopoGrouped(ctx, level, repro.TopoConfig{
+		Events:    evs,
+		TrainZoo:  *trainZoo,
+		Holdout:   *holdout,
+		Runs:      *runs,
+		Quantum:   *quantum,
+		Workers:   *workers,
+		Seed:      *seed,
+		MaxInputs: *maxInputs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := report.TopoSummary(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	switch {
+	case res.ExactCountRate >= 0.9 && res.MeanKindAccuracy >= 0.9:
+		fmt.Printf("verdict: architecture reconstructable — %.0f%% exact layer counts, %.0f%% layer kinds on never-profiled victims\n",
+			100*res.ExactCountRate, 100*res.MeanKindAccuracy)
+	case res.MeanKindAccuracy > 1.5*res.ChanceKind:
+		fmt.Printf("verdict: architecture partially reconstructable — %.0f%% layer kinds vs %.0f%% chance\n",
+			100*res.MeanKindAccuracy, 100*res.ChanceKind)
+	default:
+		fmt.Printf("verdict: architecture hidden — layer-kind recovery %.0f%% is within 1.5x of chance (%.0f%%)\n",
+			100*res.MeanKindAccuracy, 100*res.ChanceKind)
+	}
+	fmt.Printf("(root seed %d reproduces this result at any -workers value)\n", res.Seed)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResult(res)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("result written to %s\n", *jsonPath)
+	}
+}
+
+// jsonResult flattens a TopoResult into a JSON-friendly shape with event
+// names instead of internal event ids.
+func jsonResult(r *repro.TopoResult) map[string]any {
+	names := make([]string, len(r.Events))
+	for i, e := range r.Events {
+		names[i] = e.String()
+	}
+	return map[string]any{
+		"name":                   r.Name,
+		"seed":                   r.Seed,
+		"defense":                r.Level.String(),
+		"padded":                 r.Padded,
+		"events":                 names,
+		"quantum":                r.Quantum,
+		"train_zoo":              r.TrainSpecs,
+		"holdout_zoo":            r.HoldoutSpecs,
+		"kinds":                  r.Kinds,
+		"chance_kind":            r.ChanceKind,
+		"victims":                r.Victims,
+		"exact_count_rate":       r.ExactCountRate,
+		"mean_kind_accuracy":     r.MeanKindAccuracy,
+		"mean_param_rel_err":     r.MeanParamRelErr,
+		"mean_footprint_rel_err": r.MeanFootprintRelErr,
+	}
+}

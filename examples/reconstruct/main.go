@@ -1,0 +1,89 @@
+// Reconstruct: full CSI-NN-style reverse engineering of architectures the
+// attacker has never seen.
+//
+// The zooaudit example asks whether an adversary can tell *which zoo
+// member* is deployed; this example asks the stronger question the paper's
+// title implies: can they reconstruct an unknown architecture outright —
+// layer count, layer kinds, channel counts, kernel sizes, hidden widths —
+// from the side channel alone?
+//
+// The attacker first profiles a training zoo of random architectures it
+// built itself, fitting three models on the per-layer evidence stream:
+//
+//   - a segmenter (change-point detection over per-quantum
+//     instruction/L1-load signatures) that finds layer boundaries in the
+//     flat trace;
+//   - a per-segment layer-kind classifier (conv/relu/pool/dense) riding
+//     the attack stage's kNN model;
+//   - per-kind hyper-parameter estimators (structural inversion plus
+//     log-log regression) for channel counts, kernel sizes and widths.
+//
+// It then reconstructs a *disjoint* held-out zoo of victims — no victim
+// architecture appears in the training zoo — and validates each recovered
+// spec by rebuilding it and comparing footprints against measured
+// pipeline profiles.
+//
+// The run tells the story in both directions:
+//
+//  1. baseline — every victim is reconstructed essentially exactly;
+//  2. padded-envelope — the constant-rate envelope-padded deployments
+//     present an identical, structureless trace, and recovery collapses
+//     to chance.
+//
+// Every observation derives from the root seed, so the numbers below are
+// byte-identical at any worker count.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("preparing the MNIST-like input pool...")
+	s, err := repro.NewScenario(repro.ScenarioConfig{
+		Dataset:       repro.DatasetMNIST,
+		PerClassTrain: 20,
+		PerClassTest:  10,
+		Epochs:        1,
+		Seed:          11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructing never-profiled victims with %d workers\n\n", runtime.GOMAXPROCS(0))
+
+	ctx := context.Background()
+	audit := func(title string, level repro.DefenseLevel) {
+		fmt.Printf("=== %s ===\n", title)
+		res, err := s.TopoGrouped(ctx, level, repro.TopoConfig{
+			TrainZoo:  8,
+			Holdout:   6,
+			Runs:      8,
+			MaxInputs: 16,
+			Seed:      29,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.TopoSummary(os.Stdout, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--> exact layer counts %.0f%%, layer kinds %.0f%% (chance %.0f%%)\n\n",
+			100*res.ExactCountRate, 100*res.MeanKindAccuracy, 100*res.ChanceKind)
+	}
+
+	audit("baseline deployment", repro.DefenseBaseline)
+	audit("envelope-padded deployment", repro.DefensePaddedEnvelope)
+
+	fmt.Println("conclusion: per-layer evidence reconstructs unknown architectures outright;")
+	fmt.Println("only padding every deployment to a shared footprint envelope hides the topology.")
+}

@@ -88,8 +88,9 @@ type Config struct {
 	DisableRuntime bool
 	// DisableNoise removes measurement noise (deterministic counts).
 	DisableNoise bool
-	// NoPad disables the constant-time envelope padding (ablation: shows
-	// that per-kernel constant time alone does not hide the architecture).
+	// NoPad disables the envelope padding that ConstantTime and
+	// PaddedEnvelope deployments otherwise apply (ablation: shows that
+	// per-kernel constant time alone does not hide the architecture).
 	NoPad bool
 }
 
@@ -137,24 +138,7 @@ func (c Config) validate() error {
 
 // SpecInfo is the serializable metadata of one zoo architecture (the
 // Spec minus its build closure), as reported in results and goldens.
-type SpecInfo struct {
-	ID     int    `json:"id"`
-	Name   string `json:"name"`
-	Family string `json:"family"`
-	Depth  int    `json:"depth"`
-	Width  int    `json:"width"`
-	Pool   bool   `json:"pool"`
-	Layers int    `json:"layers"`
-}
-
-func specInfos(zoo *nn.Zoo) []SpecInfo {
-	out := make([]SpecInfo, 0, zoo.Len())
-	for _, s := range zoo.Specs() {
-		out = append(out, SpecInfo{ID: s.ID, Name: s.Name, Family: s.Family,
-			Depth: s.Depth, Width: s.Width, Pool: s.Pool, Layers: s.Layers})
-	}
-	return out
-}
+type SpecInfo = nn.SpecInfo
 
 // Result is the outcome of one fingerprinting campaign.
 type Result struct {
@@ -199,20 +183,21 @@ func Nets(zoo *nn.Zoo, seed int64) ([]*nn.Network, error) {
 }
 
 // Campaign is the precomputed per-campaign state shared by every
-// collection session: the deterministic zoo victims, their envelope pads
-// (under ConstantTime) and their layer evidence. Multi-session campaigns
-// — the per-register-group collections of a wide event set — reuse one
-// Campaign so the victims are built (and the pads measured) exactly once.
+// collection session: the deterministic zoo victims, their envelope
+// (under ConstantTime/PaddedEnvelope) and their layer evidence.
+// Multi-session campaigns — the per-register-group collections of a wide
+// event set — reuse one Campaign so the victims are built (and the
+// envelope measured) exactly once.
 type Campaign struct {
 	cfg      Config
 	nets     []*nn.Network
-	pads     []padCounts // nil unless the deployment is envelope-padded
+	env      *defense.Envelope // nil unless the deployment is envelope-padded
 	evidence []LayerEvidence
 }
 
 // NewCampaign validates the configuration and precomputes the victims,
-// pads and evidence. cfg.Events and cfg.Session are ignored here — they
-// are per-session inputs to Collect.
+// envelope and evidence. cfg.Events and cfg.Session are ignored here —
+// they are per-session inputs to Collect.
 func NewCampaign(cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -223,8 +208,9 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 		return nil, err
 	}
 	c := &Campaign{cfg: cfg, nets: nets}
-	if cfg.Level == defense.ConstantTime && !cfg.NoPad {
-		if c.pads, err = envelopePads(nets, cfg.Inputs[0]); err != nil {
+	padded := (cfg.Level == defense.ConstantTime || cfg.Level == defense.PaddedEnvelope) && !cfg.NoPad
+	if padded {
+		if c.env, err = defense.NewEnvelope(nets, cfg.Inputs[0]); err != nil {
 			return nil, err
 		}
 	}
@@ -235,7 +221,7 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 }
 
 // Padded reports whether the campaign's deployments are envelope-padded.
-func (c *Campaign) Padded() bool { return c.pads != nil }
+func (c *Campaign) Padded() bool { return c.env != nil }
 
 // Collect runs one collection session on the concurrent sharded pipeline
 // and returns the labelled per-run profiles, byArch[architecture id][run].
@@ -283,7 +269,7 @@ func (c *Campaign) Score(events []march.Event, byArch map[int][]hpc.Profile) (*R
 	}
 	return &Result{
 		Attack:   res,
-		Specs:    specInfos(c.cfg.Zoo),
+		Specs:    c.cfg.Zoo.Infos(),
 		Evidence: c.evidence,
 		Level:    c.cfg.Level,
 		Padded:   c.Padded(),
@@ -307,10 +293,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 // factory builds the class-aware target factory: shard workers deploy
 // architecture `class` hardened at the campaign's level on a fresh engine
-// seeded from the shard seed, wrapped with its envelope pad when the
-// campaign is padded.
+// seeded from the shard seed. Padded campaigns deploy at the
+// PaddedEnvelope level with the shared envelope (member index = class);
+// the NoPad ablation of PaddedEnvelope falls back to the bare
+// constant-time kernels.
 func (c *Campaign) factory() pipeline.ClassTargetFactory {
-	cfg, nets, pads := c.cfg, c.nets, c.pads
+	cfg, nets, env := c.cfg, c.nets, c.env
+	level := cfg.Level
+	if env != nil {
+		level = defense.PaddedEnvelope
+	} else if level == defense.PaddedEnvelope {
+		level = defense.ConstantTime
+	}
 	return func(class int, seed int64) (core.Target, error) {
 		if class < 0 || class >= len(nets) {
 			return nil, fmt.Errorf("archid: no architecture %d", class)
@@ -330,18 +324,13 @@ func (c *Campaign) factory() pipeline.ClassTargetFactory {
 		if cfg.DisableRuntime {
 			rt = instrument.NoRuntime()
 		}
-		target, err := defense.New(nets[class], engine, defense.Config{
-			Level:   cfg.Level,
-			Seed:    seed + 1,
-			Runtime: rt,
+		return defense.New(nets[class], engine, defense.Config{
+			Level:         level,
+			Seed:          seed + 1,
+			Runtime:       rt,
+			Envelope:      env,
+			EnvelopeIndex: class,
 		})
-		if err != nil {
-			return nil, err
-		}
-		if pads != nil {
-			return &paddedTarget{inner: target, pad: pads[class]}, nil
-		}
-		return target, nil
 	}
 }
 

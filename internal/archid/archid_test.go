@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/defense"
-	"repro/internal/instrument"
 	"repro/internal/march"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -195,68 +194,37 @@ func TestWorkerInvariance(t *testing.T) {
 	}
 }
 
-// TestEnvelopePadsEqualizeFootprints checks the pad math directly: padded
-// deterministic footprints of every architecture must be identical on the
-// eight paper events.
-func TestEnvelopePadsEqualizeFootprints(t *testing.T) {
-	zoo := testZoo(t)
-	nets, err := Nets(zoo, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	input := testInputs(t, 1)[0]
-	pads, err := envelopePads(nets, input)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var want march.Counts
-	for i, net := range nets {
-		// Rebuild the same noise-free constant-time deployment the pad was
-		// measured on, wrap it with its pad, and measure a steady-state
-		// classification.
-		engine, err := march.NewEngine(march.Config{Hierarchy: instrument.SimHierarchy()})
-		if err != nil {
-			t.Fatal(err)
-		}
-		inner, err := defense.New(net, engine, defense.Config{
-			Level:   defense.ConstantTime,
-			Runtime: instrument.NoRuntime(),
+// TestPaddedEnvelopeLevelMatchesConstantTimePad: the promoted
+// defense.PaddedEnvelope level is the same campaign as the legacy
+// ConstantTime-with-pad spelling — byte-identical results.
+func TestPaddedEnvelopeLevelMatchesConstantTimePad(t *testing.T) {
+	run := func(level defense.Level) []byte {
+		res, err := Run(context.Background(), Config{
+			Name:        "test/padded-equivalence",
+			Zoo:         testZoo(t),
+			Inputs:      testInputs(t, 4),
+			Level:       level,
+			ProfileRuns: 6,
+			AttackRuns:  3,
+			Workers:     2,
+			Seed:        23,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		target := &paddedTarget{inner: inner, pad: pads[i]}
-		engine.ColdReset()
-		for w := 0; w < padWarmup; w++ {
-			if _, err := target.Classify(input); err != nil {
-				t.Fatal(err)
-			}
+		if !res.Padded {
+			t.Fatalf("%s campaign not padded", level)
 		}
-		before := engine.Counts()
-		if _, err := target.Classify(input); err != nil {
+		res.Level = 0 // the level itself is the one intended difference
+		data, err := json.Marshal(res)
+		if err != nil {
 			t.Fatal(err)
 		}
-		got := engine.Counts().Sub(before)
-		if i == 0 {
-			want = got
-			continue
-		}
-		for _, e := range march.AllEvents() {
-			g, w := got.Get(e), want.Get(e)
-			if e == march.EvBusCycles || e == march.EvRefCycles {
-				// The ratio-derived counters truncate at each arch's own
-				// absolute cycle offset (warm-up cold runs differ), so their
-				// per-run deltas may wobble by one count.
-				diff := int64(g) - int64(w)
-				if diff < -1 || diff > 1 {
-					t.Fatalf("arch %d padded %s = %d, arch 0 = %d — beyond the ±1 truncation wobble", i, e, g, w)
-				}
-				continue
-			}
-			if g != w {
-				t.Fatalf("arch %d padded %s = %d, arch 0 = %d — envelope not equalized", i, e, g, w)
-			}
-		}
+		return data
+	}
+	ct, pe := run(defense.ConstantTime), run(defense.PaddedEnvelope)
+	if string(ct) != string(pe) {
+		t.Fatalf("constant-time+pad and padded-envelope campaigns differ:\n%s\nvs\n%s", ct, pe)
 	}
 }
 

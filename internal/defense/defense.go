@@ -38,6 +38,11 @@ const (
 	ConstantTime
 	// NoiseInjection keeps leaky kernels but masks them with dummy traffic.
 	NoiseInjection
+	// PaddedEnvelope is ConstantTime plus envelope padding: every
+	// classification is topped up to the footprint envelope of a
+	// configurable hypothesis set (Config.Envelope), hiding *which model*
+	// is deployed in addition to what it is looking at.
+	PaddedEnvelope
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +56,8 @@ func (l Level) String() string {
 		return "constant-time"
 	case NoiseInjection:
 		return "noise-injection"
+	case PaddedEnvelope:
+		return "padded-envelope"
 	default:
 		return fmt.Sprintf("level(%d)", int(l))
 	}
@@ -66,6 +73,30 @@ type Config struct {
 	Seed int64
 	// Runtime is passed through to the instrumented classifier.
 	Runtime instrument.RuntimeModel
+	// Envelope and EnvelopeIndex select the deployment's pad under
+	// PaddedEnvelope: the precomputed hypothesis-set envelope and this
+	// deployment's member index in it. Required at that level.
+	Envelope      *Envelope
+	EnvelopeIndex int
+}
+
+// KernelOptions returns the instrumented-kernel configuration a hardening
+// level implies (without runtime model or seed): which sparsity and
+// branchlessness story the deployed kernels execute. PaddedEnvelope runs
+// the constant-time kernels — the pad is applied on top by Hardened.
+func KernelOptions(level Level) (instrument.Options, error) {
+	var opts instrument.Options
+	switch level {
+	case Baseline, NoiseInjection:
+		opts.SparsitySkip = true
+	case DenseExecution:
+		opts.SparsitySkip = false
+	case ConstantTime, PaddedEnvelope:
+		opts.ConstantTime = true
+	default:
+		return instrument.Options{}, fmt.Errorf("defense: unknown level %d", int(level))
+	}
+	return opts, nil
 }
 
 // Hardened wraps an instrumented classifier with a defense level. It
@@ -76,26 +107,33 @@ type Hardened struct {
 	rng    *rand.Rand
 	lines  int
 	region mem.Region
+	pad    march.PadSpec
+	padded bool
 }
 
 // New builds a hardened classifier for net on engine.
 func New(net *nn.Network, engine *march.Engine, cfg Config) (*Hardened, error) {
-	opts := instrument.Options{Runtime: cfg.Runtime, Seed: cfg.Seed}
-	switch cfg.Level {
-	case Baseline, NoiseInjection:
-		opts.SparsitySkip = true
-	case DenseExecution:
-		opts.SparsitySkip = false
-	case ConstantTime:
-		opts.ConstantTime = true
-	default:
-		return nil, fmt.Errorf("defense: unknown level %d", int(cfg.Level))
+	opts, err := KernelOptions(cfg.Level)
+	if err != nil {
+		return nil, err
 	}
+	opts.Runtime = cfg.Runtime
+	opts.Seed = cfg.Seed
 	inner, err := instrument.New(net, engine, opts)
 	if err != nil {
 		return nil, err
 	}
 	h := &Hardened{inner: inner, level: cfg.Level, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Level == PaddedEnvelope {
+		if cfg.Envelope == nil {
+			return nil, fmt.Errorf("defense: PaddedEnvelope needs a precomputed Envelope (see NewEnvelope)")
+		}
+		pad, err := cfg.Envelope.Pad(cfg.EnvelopeIndex)
+		if err != nil {
+			return nil, err
+		}
+		h.pad, h.padded = pad, true
+	}
 	if cfg.Level == NoiseInjection {
 		h.lines = cfg.NoiseLines
 		if h.lines <= 0 {
@@ -131,6 +169,9 @@ func (h *Hardened) Classify(img *tensor.Tensor) (int, error) {
 	}
 	if h.level == NoiseInjection {
 		h.injectNoise()
+	}
+	if h.padded {
+		h.inner.Engine().PadExtended(h.pad)
 	}
 	return cls, nil
 }

@@ -48,11 +48,29 @@ func (c *Classifier) ClassifyWithAttribution(img *tensor.Tensor) (int, []LayerCo
 	return pred, attribution, nil
 }
 
+// UnknownKind is the label degenerate attribution entries (an empty kind
+// string) are normalized to by the attribution consumers. The topology-
+// recovery segmenter and the archid evidence tables both key on kind
+// strings, so an unnamed layer must not vanish into the "" bucket.
+const UnknownKind = "unknown"
+
+// NormalizeKind maps a raw attribution kind string to its reporting form:
+// the kind itself, or UnknownKind when empty.
+func NormalizeKind(kind string) string {
+	if kind == "" {
+		return UnknownKind
+	}
+	return kind
+}
+
 // SummarizeAttribution reduces an attribution to the layer-count evidence
 // an architecture-fingerprinting analyst extracts (CSI-NN's observation:
 // layer boundaries and kinds are visible in the side-channel trace): the
 // number of instrumented layers and the layer-kind histogram. The runtime
-// pseudo-layer (index -1) is excluded.
+// pseudo-layer (index -1) is excluded; empty kind strings are counted
+// under UnknownKind. The returned map is non-nil even for an empty (or
+// runtime-only) attribution, so downstream consumers — the topology
+// segmenter in particular — can index it unconditionally.
 func SummarizeAttribution(attribution []LayerCounts) (layers int, kinds map[string]int) {
 	kinds = map[string]int{}
 	for _, lc := range attribution {
@@ -60,12 +78,14 @@ func SummarizeAttribution(attribution []LayerCounts) (layers int, kinds map[stri
 			continue
 		}
 		layers++
-		kinds[lc.Kind]++
+		kinds[NormalizeKind(lc.Kind)]++
 	}
 	return layers, kinds
 }
 
-// RenderAttribution prints a per-layer table of selected events.
+// RenderAttribution prints a per-layer table of selected events. Degenerate
+// traces render defensively: an empty attribution prints a placeholder row
+// instead of a bare header, and unnamed kinds render as UnknownKind.
 func RenderAttribution(w io.Writer, attribution []LayerCounts, events ...march.Event) {
 	if len(events) == 0 {
 		events = []march.Event{march.EvInstructions, march.EvCacheMisses, march.EvBranches}
@@ -75,12 +95,16 @@ func RenderAttribution(w io.Writer, attribution []LayerCounts, events ...march.E
 		fmt.Fprintf(w, "%18s", e)
 	}
 	fmt.Fprintln(w)
+	if len(attribution) == 0 {
+		fmt.Fprintln(w, "(empty attribution)")
+		return
+	}
 	for _, lc := range attribution {
 		idx := fmt.Sprintf("%d", lc.Index)
 		if lc.Index < 0 {
 			idx = "-"
 		}
-		fmt.Fprintf(w, "%-8s%-10s", idx, lc.Kind)
+		fmt.Fprintf(w, "%-8s%-10s", idx, NormalizeKind(lc.Kind))
 		for _, e := range events {
 			fmt.Fprintf(w, "%18d", lc.Counts.Get(e))
 		}

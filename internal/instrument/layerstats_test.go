@@ -93,6 +93,93 @@ func TestAttributionRejectsWrongShape(t *testing.T) {
 	}
 }
 
+// TestSummarizeAttributionDegenerate is the table-driven hardening suite
+// for the attribution consumers: the topology-recovery segmenter feeds on
+// these summaries, so empty traces, single layers, runtime-only traces and
+// unknown kind strings must all reduce cleanly (non-nil histogram, no
+// "" bucket, runtime excluded).
+func TestSummarizeAttributionDegenerate(t *testing.T) {
+	mk := func(index int, kind string) LayerCounts {
+		return LayerCounts{Index: index, Kind: kind}
+	}
+	cases := []struct {
+		name      string
+		attr      []LayerCounts
+		layers    int
+		kinds     map[string]int
+		rendered  []string // substrings RenderAttribution must emit
+		forbidden []string // substrings it must not emit
+	}{
+		{
+			name:     "empty",
+			attr:     nil,
+			layers:   0,
+			kinds:    map[string]int{},
+			rendered: []string{"layer", "(empty attribution)"},
+		},
+		{
+			name:     "single layer",
+			attr:     []LayerCounts{mk(0, "dense")},
+			layers:   1,
+			kinds:    map[string]int{"dense": 1},
+			rendered: []string{"dense"},
+		},
+		{
+			name:      "runtime only",
+			attr:      []LayerCounts{mk(-1, "runtime")},
+			layers:    0,
+			kinds:     map[string]int{},
+			rendered:  []string{"runtime"},
+			forbidden: []string{"(empty attribution)"},
+		},
+		{
+			name:     "unknown kind string",
+			attr:     []LayerCounts{mk(0, "conv"), mk(1, "")},
+			layers:   2,
+			kinds:    map[string]int{"conv": 1, UnknownKind: 1},
+			rendered: []string{"conv", UnknownKind},
+		},
+		{
+			name:   "mixed with runtime",
+			attr:   []LayerCounts{mk(0, "conv"), mk(1, "relu"), mk(-1, "runtime")},
+			layers: 2,
+			kinds:  map[string]int{"conv": 1, "relu": 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			layers, kinds := SummarizeAttribution(tc.attr)
+			if layers != tc.layers {
+				t.Fatalf("layers = %d, want %d", layers, tc.layers)
+			}
+			if kinds == nil {
+				t.Fatal("kind histogram is nil")
+			}
+			if len(kinds) != len(tc.kinds) {
+				t.Fatalf("kinds = %v, want %v", kinds, tc.kinds)
+			}
+			for k, n := range tc.kinds {
+				if kinds[k] != n {
+					t.Fatalf("kinds[%q] = %d, want %d (full: %v)", k, kinds[k], n, kinds)
+				}
+			}
+			var b strings.Builder
+			RenderAttribution(&b, tc.attr)
+			out := b.String()
+			for _, want := range tc.rendered {
+				if !strings.Contains(out, want) {
+					t.Fatalf("rendered table missing %q:\n%s", want, out)
+				}
+			}
+			for _, bad := range tc.forbidden {
+				if strings.Contains(out, bad) {
+					t.Fatalf("rendered table contains %q:\n%s", bad, out)
+				}
+			}
+		})
+	}
+}
+
 func TestRenderAttribution(t *testing.T) {
 	c, _ := buildClassifier(t, Options{SparsitySkip: true})
 	_, layers, err := c.ClassifyWithAttribution(randImage(24))

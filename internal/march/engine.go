@@ -516,11 +516,39 @@ func (e *Engine) Background(ops, branches, branchMisses, llcRefs, llcMisses uint
 // are computed against a consistent envelope by the caller, and clamping
 // would silently break the equalization.
 func (e *Engine) Pad(ops, branches, branchMisses, llcRefs, llcMisses, stallCycles uint64) {
-	e.instructions += ops + branches
-	e.branches += branches
-	e.mispredicts += branchMisses
-	e.caches.Last().AddExternal(llcRefs, llcMisses)
-	e.extraCycles += stallCycles
+	e.PadExtended(PadSpec{
+		Ops: ops, Branches: branches, BranchMisses: branchMisses,
+		LLCRefs: llcRefs, LLCMisses: llcMisses, StallCycles: stallCycles,
+	})
+}
+
+// PadSpec is the full per-classification pad of an envelope-padded
+// deployment, in the engine's independent counter components. Beyond the
+// Pad primitive's LLC/branch/instruction components it also covers the
+// per-level L1 and dTLB events — the residual fingerprint the original
+// archid padding left observable — and the raw stall-cycle residue.
+type PadSpec struct {
+	Ops, Branches, BranchMisses uint64
+	LLCRefs, LLCMisses          uint64
+	L1Loads, L1Misses           uint64
+	TLBLoads, TLBMisses         uint64
+	StallCycles                 uint64
+}
+
+// PadExtended injects the deterministic filler activity of a PadSpec: the
+// same components as Pad plus external L1 and dTLB traffic, so the padded
+// deployment equalizes the *extended* event set too. The external L1/TLB
+// pads are stats-only (they do not walk the hierarchy or charge page-walk
+// penalties): the stall component already carries the exact cycle residue
+// of the envelope, and charging the pads again would double-count it.
+func (e *Engine) PadExtended(p PadSpec) {
+	e.instructions += p.Ops + p.Branches
+	e.branches += p.Branches
+	e.mispredicts += p.BranchMisses
+	e.caches.Last().AddExternal(p.LLCRefs, p.LLCMisses)
+	e.caches.Levels[0].AddExternal(p.L1Loads, p.L1Misses)
+	e.tlb.AddExternal(p.TLBLoads, p.TLBMisses)
+	e.extraCycles += p.StallCycles
 }
 
 // StallCycles returns the accumulated stall-cycle residue — the exact

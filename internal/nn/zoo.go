@@ -106,6 +106,30 @@ func (z *Zoo) Build(id int, seed int64) (*Network, error) {
 	return s.Build(rand.New(rand.NewSource(seed)))
 }
 
+// SpecInfo is the serializable metadata of one zoo architecture (the Spec
+// minus its build closure), as reported in campaign results and goldens by
+// the fingerprinting and topology-recovery stages.
+type SpecInfo struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	Depth  int    `json:"depth"`
+	Width  int    `json:"width"`
+	Pool   bool   `json:"pool"`
+	Layers int    `json:"layers"`
+}
+
+// Infos returns the registered architectures' serializable metadata in ID
+// order.
+func (z *Zoo) Infos() []SpecInfo {
+	out := make([]SpecInfo, 0, z.Len())
+	for _, s := range z.specs {
+		out = append(out, SpecInfo{ID: s.ID, Name: s.Name, Family: s.Family,
+			Depth: s.Depth, Width: s.Width, Pool: s.Pool, Layers: s.Layers})
+	}
+	return out
+}
+
 // ConvNetArch is the generalized convolutional architecture behind the
 // zoo's CNN variants: Channels[i] output channels per conv block, each
 // block conv→ReLU(→2×2 pool when Pool), then flatten→dense.

@@ -16,7 +16,9 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/march"
+	"repro/internal/nn"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // TTable renders the paper's Table 1/2 layout: one row per category pair,
@@ -176,19 +178,33 @@ func AttackSummary(w io.Writer, r *attack.Result) error {
 	return Confusion(w, fmt.Sprintf("%d-NN attack:", r.K), r.KNN)
 }
 
+// nameColumn sizes an architecture-name column to its longest entry plus
+// a separating space (random spec names are unbounded, so a fixed width
+// would eventually merge columns).
+func nameColumn(names func(i int) string, n int) int {
+	w := 18
+	for i := 0; i < n; i++ {
+		if l := len(names(i)) + 2; l > w {
+			w = l
+		}
+	}
+	return w
+}
+
 // ZooTable renders the fingerprinting hypothesis space: one row per
 // candidate architecture with its class label and hyper-parameters.
 func ZooTable(w io.Writer, specs []archid.SpecInfo) error {
 	if len(specs) == 0 {
 		return fmt.Errorf("report: empty zoo")
 	}
-	fmt.Fprintf(w, "  %-4s%-18s%-8s%8s%8s%8s%8s\n", "id", "architecture", "family", "depth", "width", "pool", "layers")
+	nameW := nameColumn(func(i int) string { return specs[i].Name }, len(specs))
+	fmt.Fprintf(w, "  %-4s%-*s%-8s%8s%8s%8s%8s\n", "id", nameW, "architecture", "family", "depth", "width", "pool", "layers")
 	for _, s := range specs {
 		pool := "-"
 		if s.Pool {
 			pool = "yes"
 		}
-		fmt.Fprintf(w, "  %-4d%-18s%-8s%8d%8d%8s%8d\n", s.ID, s.Name, s.Family, s.Depth, s.Width, pool, s.Layers)
+		fmt.Fprintf(w, "  %-4d%-*s%-8s%8d%8d%8s%8d\n", s.ID, nameW, s.Name, s.Family, s.Depth, s.Width, pool, s.Layers)
 	}
 	return nil
 }
@@ -200,7 +216,8 @@ func LayerEvidenceTable(w io.Writer, evidence []archid.LayerEvidence) error {
 	if len(evidence) == 0 {
 		return fmt.Errorf("report: empty layer evidence")
 	}
-	fmt.Fprintf(w, "  %-4s%-18s%8s  %s\n", "id", "architecture", "layers", "kinds")
+	nameW := nameColumn(func(i int) string { return evidence[i].Name }, len(evidence))
+	fmt.Fprintf(w, "  %-4s%-*s%8s  %s\n", "id", nameW, "architecture", "layers", "kinds")
 	for _, ev := range evidence {
 		kinds := make([]string, 0, len(ev.Kinds))
 		for k := range ev.Kinds {
@@ -211,7 +228,7 @@ func LayerEvidenceTable(w io.Writer, evidence []archid.LayerEvidence) error {
 		for i, k := range kinds {
 			parts[i] = fmt.Sprintf("%s×%d", k, ev.Kinds[k])
 		}
-		fmt.Fprintf(w, "  %-4d%-18s%8d  %s\n", ev.ArchID, ev.Name, ev.Layers, strings.Join(parts, " "))
+		fmt.Fprintf(w, "  %-4d%-*s%8d  %s\n", ev.ArchID, nameW, ev.Name, ev.Layers, strings.Join(parts, " "))
 	}
 	return nil
 }
@@ -242,6 +259,104 @@ func ArchIDSummary(w io.Writer, r *archid.Result) error {
 	}
 	fmt.Fprintln(w, "layer evidence (instrumented attribution):")
 	return LayerEvidenceTable(w, r.Evidence)
+}
+
+// SpecTable renders a hypothesis space: one row per architecture with its
+// class label and hyper-parameters (the generic form of ZooTable, shared
+// by the archid zoo and the topo train/holdout zoos).
+func SpecTable(w io.Writer, specs []nn.SpecInfo) error {
+	return ZooTable(w, specs)
+}
+
+// describeLayer renders one (true or recovered) layer compactly.
+func describeLayer(kind string, param, kernel int) string {
+	switch kind {
+	case "conv":
+		return fmt.Sprintf("conv(%d,k%d)", param, kernel)
+	case "dense":
+		return fmt.Sprintf("dense(%d)", param)
+	default:
+		return kind
+	}
+}
+
+// ReconstructionTable renders the recovered-vs-true spec diff of every
+// victim: one block per victim with the two layer stacks aligned
+// position-by-position, mismatches marked with '*', plus the per-victim
+// scores.
+func ReconstructionTable(w io.Writer, victims []topo.VictimResult) error {
+	if len(victims) == 0 {
+		return fmt.Errorf("report: no victims to render")
+	}
+	for _, v := range victims {
+		count := "exact"
+		if !v.ExactCount {
+			count = fmt.Sprintf("%d/%d layers", len(v.Recovered), len(v.True))
+		}
+		fmt.Fprintf(w, "  victim %d %s (%s, kind %.0f%%", v.ArchID, v.Name, count, 100*v.KindAccuracy)
+		if v.ParamRelErr >= 0 {
+			fmt.Fprintf(w, ", param err %.0f%%", 100*v.ParamRelErr)
+		}
+		if v.FootprintRelErr >= 0 {
+			fmt.Fprintf(w, ", footprint err %.1f%%", 100*v.FootprintRelErr)
+		} else {
+			fmt.Fprint(w, ", unverifiable")
+		}
+		fmt.Fprintln(w, "):")
+		n := len(v.True)
+		if len(v.Recovered) > n {
+			n = len(v.Recovered)
+		}
+		for i := 0; i < n; i++ {
+			truth, rec := "-", "-"
+			if i < len(v.True) {
+				truth = describeLayer(v.True[i].Kind, v.True[i].Param, v.True[i].Kernel)
+			}
+			if i < len(v.Recovered) {
+				rec = describeLayer(v.Recovered[i].Kind, v.Recovered[i].Param, v.Recovered[i].Kernel)
+			}
+			mark := " "
+			if truth != rec {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "    %2d  %-16s %s %-16s\n", i, truth, mark, rec)
+		}
+	}
+	return nil
+}
+
+// TopoSummary renders a full topology-recovery result: the two hypothesis
+// spaces, the aggregates, and the per-victim reconstruction diffs.
+func TopoSummary(w io.Writer, r *topo.Result) error {
+	names := make([]string, len(r.Events))
+	for i, e := range r.Events {
+		names[i] = e.String()
+	}
+	pad := ""
+	if r.Padded {
+		pad = ", envelope-padded"
+	}
+	fmt.Fprintf(w, "topology-recovery campaign %s: events %s, %d training architectures, %d held-out victims, quantum %d (defense %s%s)\n",
+		r.Name, strings.Join(names, ","), len(r.TrainSpecs), len(r.HoldoutSpecs), r.Quantum, r.Level, pad)
+	fmt.Fprintln(w, "training zoo (attacker-profiled):")
+	if err := SpecTable(w, r.TrainSpecs); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "held-out victims (never profiled):")
+	if err := SpecTable(w, r.HoldoutSpecs); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "exact layer-count rate %.0f%%, kind accuracy %.0f%% (chance %.0f%% over %s)",
+		100*r.ExactCountRate, 100*r.MeanKindAccuracy, 100*r.ChanceKind, strings.Join(r.Kinds, "/"))
+	if r.MeanParamRelErr >= 0 {
+		fmt.Fprintf(w, ", hyper-parameter err %.0f%%", 100*r.MeanParamRelErr)
+	}
+	if r.MeanFootprintRelErr >= 0 {
+		fmt.Fprintf(w, ", footprint err %.1f%%", 100*r.MeanFootprintRelErr)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "reconstructions (true | recovered):")
+	return ReconstructionTable(w, r.Victims)
 }
 
 // HistogramPanel renders the per-class distributions of one event as

@@ -10,7 +10,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/march"
+	"repro/internal/nn"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // fakeReport builds a Report by hand so rendering is tested without
@@ -313,5 +315,68 @@ func TestSummaryTable(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "mean") || !strings.Contains(out, "cache-misses:") {
 		t.Fatalf("summary malformed:\n%s", out)
+	}
+}
+
+func TestTopoSummaryRendering(t *testing.T) {
+	res := &topo.Result{
+		Name:    "mnist-topo/baseline",
+		Events:  []march.Event{march.EvInstructions, march.EvL1DLoads},
+		Quantum: 5000,
+		TrainSpecs: []nn.SpecInfo{
+			{ID: 0, Name: "cnn-r-k3-8-pool", Family: "cnn", Depth: 2, Width: 8, Pool: true, Layers: 6},
+		},
+		HoldoutSpecs: []nn.SpecInfo{
+			{ID: 0, Name: "mlp-r-64-48", Family: "mlp", Depth: 3, Width: 64, Layers: 6},
+		},
+		Kinds:      []string{"conv", "dense", "pool", "relu"},
+		ChanceKind: 0.25,
+		Victims: []topo.VictimResult{
+			{
+				ArchID: 0, Name: "mlp-r-64-48",
+				True: []topo.LayerTruth{
+					{Kind: "dense", Param: 64}, {Kind: "relu"}, {Kind: "dense", Param: 48},
+				},
+				Recovered: []topo.LayerGuess{
+					{Kind: "dense", Param: 64}, {Kind: "relu"}, {Kind: "dense", Param: 46},
+				},
+				ExactCount: true, BoundaryMatch: true,
+				KindAccuracy: 1, ParamRelErr: 0.02, FootprintRelErr: 0.01,
+			},
+			{
+				ArchID: 1, Name: "cnn-r-k5-12-pool",
+				True:         []topo.LayerTruth{{Kind: "conv", Param: 12, Kernel: 5}, {Kind: "relu"}},
+				Recovered:    []topo.LayerGuess{{Kind: "conv", Param: 108, Kernel: 3}},
+				KindAccuracy: 0.5, ParamRelErr: -1, FootprintRelErr: -1,
+			},
+		},
+		ExactCountRate:      0.5,
+		MeanKindAccuracy:    0.75,
+		MeanParamRelErr:     0.02,
+		MeanFootprintRelErr: 0.01,
+	}
+	var b strings.Builder
+	if err := TopoSummary(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"mnist-topo/baseline", "instructions,L1-dcache-loads",
+		"training zoo (attacker-profiled):", "held-out victims (never profiled):",
+		"cnn-r-k3-8-pool", "mlp-r-64-48",
+		"exact layer-count rate 50%", "kind accuracy 75%", "chance 25%",
+		"dense(64)", "dense(48)", "* dense(46)", "conv(12,k5)", "conv(108,k3)",
+		"unverifiable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("topo summary missing %q:\n%s", want, out)
+		}
+	}
+	// Matching positions must not carry a mismatch mark.
+	if strings.Contains(out, "* relu") {
+		t.Fatalf("matching layer marked as mismatch:\n%s", out)
+	}
+	if err := ReconstructionTable(&b, nil); err == nil {
+		t.Fatal("empty victim list accepted")
 	}
 }

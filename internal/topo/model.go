@@ -1,0 +1,323 @@
+package topo
+
+// The attacker-side models, fitted on the training zoo only:
+//
+//   - KindModel classifies a segment's per-instruction rate signature into
+//     a layer kind, riding the existing attack.Model interface (the
+//     Gaussian template attacker, with kind ids as class labels and rate
+//     features packed into an hpc.Profile).
+//   - estimator regresses a hyper-parameter from segment footprint
+//     magnitudes: a ridge-regularized log-log linear model over segment
+//     instructions, L1 loads and the (shape-propagated) input volume.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/hpc"
+	"repro/internal/march"
+)
+
+// trainSegment is one labelled training observation: a layer's summed
+// footprint, its kind, and its hyper-parameter ground truth.
+type trainSegment struct {
+	kind   string
+	counts march.Counts
+	param  int
+	kernel int
+	inVol  int
+}
+
+// kindEvents are the rate features the kind classifier uses: the
+// kind-*intrinsic* instruction-mix rates — loads and branches per
+// instruction (fixed by the kernel's loop structure), plus the
+// LLC-reference rate that separates the streaming dense weight walk from
+// the cache-resident conv reuse. The miss-type features of the segmenter
+// signature (L1/LLC miss rates, mispredict density) are deliberately
+// absent: they depend on layer size, activation sparsity and cache state
+// rather than on the kernel kind, so a held-out layer in a different
+// miss regime than every training exemplar of its kind would be pulled
+// toward the wrong class.
+var kindEvents = []march.Event{
+	march.EvL1DLoads,
+	march.EvBranches,
+	march.EvCacheReferences,
+}
+
+// segmentProfile packs a segment's per-instruction rate signature into an
+// hpc.Profile (keyed by the rate's numerator event) so the attack-stage
+// models can consume it unchanged.
+func segmentProfile(c march.Counts) hpc.Profile {
+	instr := float64(c.Get(march.EvInstructions))
+	if instr < 1 {
+		instr = 1
+	}
+	p := make(hpc.Profile, len(kindEvents))
+	for _, e := range kindEvents {
+		p[e] = float64(c.Get(e)) / instr
+	}
+	return p
+}
+
+// KindModel recovers a segment's layer kind from its rate signature.
+type KindModel struct {
+	kinds []string // class-id order
+	model attack.Model
+}
+
+// trainKindModel fits the kNN attacker (k = 1: nearest training segment
+// in standardized rate space) over the training segments' rate
+// signatures, one class per kind. Per-kind signature distributions are
+// multi-modal — a first-block pool and a last-block pool sit in different
+// miss-rate regimes — which nearest-neighbour handles and a single
+// Gaussian template does not. Kinds observed only once have their sample
+// doubled so the attacker's per-class requirements hold.
+func trainKindModel(segs []trainSegment) (*KindModel, error) {
+	byKind := map[string][]hpc.Profile{}
+	for _, s := range segs {
+		byKind[s.kind] = append(byKind[s.kind], segmentProfile(s.counts))
+	}
+	if len(byKind) < 2 {
+		return nil, fmt.Errorf("topo: training zoo exposes %d layer kinds, need at least 2", len(byKind))
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	profSet := make(map[int][]hpc.Profile, len(kinds))
+	for id, kind := range kinds {
+		obs := byKind[kind]
+		if len(obs) == 1 {
+			obs = append(obs, obs[0])
+		}
+		profSet[id] = obs
+	}
+	model, err := attack.NewKNN(1, kindEvents, profSet)
+	if err != nil {
+		return nil, err
+	}
+	return &KindModel{kinds: kinds, model: model}, nil
+}
+
+// Kinds returns the kinds the model can predict, in class-id order.
+func (m *KindModel) Kinds() []string { return m.kinds }
+
+// Predict recovers the layer kind of one segment footprint.
+func (m *KindModel) Predict(c march.Counts) string {
+	id := m.model.Predict(segmentProfile(c))
+	if id < 0 || id >= len(m.kinds) {
+		return m.kinds[0]
+	}
+	return m.kinds[id]
+}
+
+// estimator is one log-log linear hyper-parameter regressor:
+//
+//	log(param) ≈ w0 + w1·log(instr) + w2·log(l1loads) + w3·log(inVol)
+//
+// fitted by ridge-regularized least squares over the training segments of
+// its kind.
+type estimator struct {
+	w  [4]float64
+	ok bool
+}
+
+// estFeatures computes the regression features of one segment.
+func estFeatures(counts march.Counts, inVol int) [4]float64 {
+	logp := func(v float64) float64 { return math.Log(v + 1) }
+	return [4]float64{
+		1,
+		logp(float64(counts.Get(march.EvInstructions))),
+		logp(float64(counts.Get(march.EvL1DLoads))),
+		logp(float64(inVol)),
+	}
+}
+
+// fitEstimator solves the ridge normal equations over the labelled rows.
+func fitEstimator(feats [][4]float64, targets []float64) estimator {
+	if len(feats) == 0 || len(feats) != len(targets) {
+		return estimator{}
+	}
+	const lambda = 1e-6
+	var a [4][4]float64
+	var b [4]float64
+	for r, f := range feats {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				a[i][j] += f[i] * f[j]
+			}
+			b[i] += f[i] * targets[r]
+		}
+	}
+	for i := 0; i < 4; i++ {
+		a[i][i] += lambda
+	}
+	w, ok := solve4(a, b)
+	return estimator{w: w, ok: ok}
+}
+
+// solve4 is Gaussian elimination with partial pivoting on a 4×4 system.
+func solve4(a [4][4]float64, b [4]float64) ([4]float64, bool) {
+	for col := 0; col < 4; col++ {
+		pivot := col
+		for r := col + 1; r < 4; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return [4]float64{}, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < 4; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 4; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var w [4]float64
+	for r := 3; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < 4; c++ {
+			sum -= a[r][c] * w[c]
+		}
+		w[r] = sum / a[r][r]
+	}
+	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return [4]float64{}, false
+		}
+	}
+	return w, true
+}
+
+// predict returns the regressed hyper-parameter, clamped to [1, 4096].
+func (e estimator) predict(counts march.Counts, inVol int) int {
+	if !e.ok {
+		return 1
+	}
+	f := estFeatures(counts, inVol)
+	sum := 0.0
+	for i := range f {
+		sum += e.w[i] * f[i]
+	}
+	v := int(math.Round(math.Exp(sum)))
+	if v < 1 {
+		v = 1
+	}
+	if v > 4096 {
+		v = 4096
+	}
+	return v
+}
+
+// estimators bundles the per-kind regressors the reconstruction uses,
+// plus the element-throughput calibration of the relu kernel:
+// reluVolPerInstr is the mean elements-per-instruction of the training
+// relu segments, which turns a victim relu segment's instruction count
+// into an estimate of its element volume — i.e. the *output volume* of
+// the preceding conv or dense layer, the shape-propagation cross-check
+// CSI-NN reads layer dimensions from.
+type estimators struct {
+	convChannels    estimator
+	convKernel      estimator
+	denseWidth      estimator
+	reluVolPerInstr float64
+	// convBeta calibrates the structural channel estimator: a conv
+	// segment's arithmetic work is ops ≈ 2·outC·positions, and its
+	// position count hides in the branch counter as
+	// positions ≈ branches − β·inVol, where β absorbs the level-dependent
+	// per-element branch overhead (zero tests, loop back-edges, bias
+	// rows). β is learned from the training convs, so the estimator
+	// adapts to whichever kernels the hardening level deploys.
+	convBeta   float64
+	convBetaOK bool
+}
+
+// convOps extracts a conv segment's arithmetic instruction count: total
+// instructions minus the load/store instructions (one per L1 access) and
+// the branch instructions.
+func convOps(counts march.Counts) float64 {
+	return float64(counts.Get(march.EvInstructions)) -
+		float64(counts.Get(march.EvL1DLoads)) -
+		float64(counts.Get(march.EvBranches))
+}
+
+// convFromStructure inverts the structural model for the channel count:
+// positions = branches − β·inVol, outC = ops / (2·positions). ok is false
+// when the segment is too degenerate to invert (the caller falls back to
+// the log-log regression).
+func (e estimators) convFromStructure(counts march.Counts, inVol int) (int, bool) {
+	if !e.convBetaOK {
+		return 0, false
+	}
+	ops := convOps(counts)
+	pos := float64(counts.Get(march.EvBranches)) - e.convBeta*float64(inVol)
+	if ops <= 0 || pos < 1 {
+		return 0, false
+	}
+	oc := int(math.Round(ops / (2 * pos)))
+	if oc < 1 {
+		return 0, false
+	}
+	return oc, true
+}
+
+// fitEstimators fits every hyper-parameter regressor from the training
+// segments.
+func fitEstimators(segs []trainSegment) estimators {
+	var convF, denseF [][4]float64
+	var convC, convK, denseW []float64
+	reluRatio, reluN := 0.0, 0
+	betaSum, betaN := 0.0, 0
+	for _, s := range segs {
+		switch s.kind {
+		case "conv":
+			convF = append(convF, estFeatures(s.counts, s.inVol))
+			convC = append(convC, math.Log(float64(s.param)))
+			convK = append(convK, math.Log(float64(s.kernel)))
+			if pos := convOps(s.counts) / (2 * float64(s.param)); pos >= 1 && s.inVol > 0 {
+				betaSum += (float64(s.counts.Get(march.EvBranches)) - pos) / float64(s.inVol)
+				betaN++
+			}
+		case "dense":
+			denseF = append(denseF, estFeatures(s.counts, s.inVol))
+			denseW = append(denseW, math.Log(float64(s.param)))
+		case "relu":
+			if instr := s.counts.Get(march.EvInstructions); instr > 0 && s.inVol > 0 {
+				reluRatio += float64(s.inVol) / float64(instr)
+				reluN++
+			}
+		}
+	}
+	est := estimators{
+		convChannels: fitEstimator(convF, convC),
+		convKernel:   fitEstimator(convF, convK),
+		denseWidth:   fitEstimator(denseF, denseW),
+	}
+	if reluN > 0 {
+		est.reluVolPerInstr = reluRatio / float64(reluN)
+	}
+	if betaN > 0 {
+		est.convBeta = betaSum / float64(betaN)
+		est.convBetaOK = true
+	}
+	return est
+}
+
+// snapOddKernel rounds a kernel estimate to the nearest odd size ≥ 1.
+func snapOddKernel(k int) int {
+	if k < 1 {
+		return 1
+	}
+	if k%2 == 0 {
+		return k - 1
+	}
+	return k
+}

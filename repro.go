@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/archid"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
@@ -79,17 +80,27 @@ const (
 	DefenseDense          = defense.DenseExecution
 	DefenseConstantTime   = defense.ConstantTime
 	DefenseNoiseInjection = defense.NoiseInjection
+	// DefensePaddedEnvelope is constant-time kernels plus envelope padding
+	// to the default zoo's footprint envelope — the hardening that hides
+	// the *model*, not just the input (see internal/defense.PaddedEnvelope).
+	DefensePaddedEnvelope = defense.PaddedEnvelope
 )
+
+// AllDefenses returns every supported hardening level in severity order.
+func AllDefenses() []DefenseLevel {
+	return []DefenseLevel{DefenseBaseline, DefenseDense, DefenseConstantTime,
+		DefenseNoiseInjection, DefensePaddedEnvelope}
+}
 
 // ParseDefense resolves a defense-level name as printed by
 // DefenseLevel.String() — the single mapping the CLIs share.
 func ParseDefense(s string) (DefenseLevel, error) {
-	for _, l := range []DefenseLevel{DefenseBaseline, DefenseDense, DefenseConstantTime, DefenseNoiseInjection} {
+	for _, l := range AllDefenses() {
 		if s == l.String() {
 			return l, nil
 		}
 	}
-	return 0, fmt.Errorf("repro: unknown defense %q (want baseline, dense-execution, constant-time or noise-injection)", s)
+	return 0, fmt.Errorf("repro: unknown defense %q (want baseline, dense-execution, constant-time, noise-injection or padded-envelope)", s)
 }
 
 // ParseClasses parses a comma-separated category-label list
@@ -161,6 +172,38 @@ type Scenario struct {
 	Target core.Target
 	// TestAccuracy of the trained model on the synthetic test split.
 	TestAccuracy float64
+
+	// Lazily-built padded-envelope deployment state: the hypothesis-set
+	// envelope (default zoo + the scenario's own trained network) is
+	// measured once and shared by the deployed target and every pipeline
+	// shard that deploys at DefensePaddedEnvelope.
+	envOnce sync.Once
+	env     *defense.Envelope
+	envIdx  int
+	envErr  error
+}
+
+// deploymentEnvelope lazily measures the scenario's padded-envelope
+// hypothesis set: the default zoo's candidate architectures plus the
+// scenario's own trained network as the final member (so its pad is
+// well-defined and non-negative too).
+func (s *Scenario) deploymentEnvelope() (*defense.Envelope, int, error) {
+	s.envOnce.Do(func() {
+		zoo, err := s.ArchZoo()
+		if err != nil {
+			s.envErr = err
+			return
+		}
+		nets, err := archid.Nets(zoo, s.Config.Seed)
+		if err != nil {
+			s.envErr = err
+			return
+		}
+		nets = append(nets, s.Net)
+		s.envIdx = len(nets) - 1
+		s.env, s.envErr = defense.NewEnvelope(nets, s.Test.Inputs()[0])
+	})
+	return s.env, s.envIdx, s.envErr
 }
 
 // NewScenario generates the dataset, trains the CNN, and deploys it
@@ -227,24 +270,34 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	if cfg.DisableRuntime {
 		rt = instrument.NoRuntime()
 	}
-	target, err := defense.New(net, engine, defense.Config{
-		Level:   cfg.Defense,
-		Seed:    cfg.Seed + 4,
-		Runtime: rt,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Scenario{
+	s := &Scenario{
 		Config:       cfg,
 		Arch:         arch,
 		Train:        train,
 		Test:         test,
 		Net:          net,
 		Engine:       engine,
-		Target:       target,
 		TestAccuracy: acc,
-	}, nil
+	}
+	var env *defense.Envelope
+	envIdx := 0
+	if cfg.Defense == DefensePaddedEnvelope {
+		if env, envIdx, err = s.deploymentEnvelope(); err != nil {
+			return nil, err
+		}
+	}
+	target, err := defense.New(net, engine, defense.Config{
+		Level:         cfg.Defense,
+		Seed:          cfg.Seed + 4,
+		Runtime:       rt,
+		Envelope:      env,
+		EnvelopeIndex: envIdx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Target = target
+	return s, nil
 }
 
 // ClassPools groups the test images of the requested categories, the pools
@@ -364,6 +417,14 @@ func (s *Scenario) FactoryFor(level DefenseLevel) pipeline.TargetFactory {
 	cfg := s.Config
 	net := s.Net
 	return func(seed int64) (core.Target, error) {
+		var env *defense.Envelope
+		envIdx := 0
+		if level == DefensePaddedEnvelope {
+			var err error
+			if env, envIdx, err = s.deploymentEnvelope(); err != nil {
+				return nil, err
+			}
+		}
 		var noise *march.NoiseModel
 		if !cfg.DisableNoise {
 			noise = march.DefaultNoise(seed)
@@ -380,9 +441,11 @@ func (s *Scenario) FactoryFor(level DefenseLevel) pipeline.TargetFactory {
 			rt = instrument.NoRuntime()
 		}
 		return defense.New(net, engine, defense.Config{
-			Level:   level,
-			Seed:    seed + 1,
-			Runtime: rt,
+			Level:         level,
+			Seed:          seed + 1,
+			Runtime:       rt,
+			Envelope:      env,
+			EnvelopeIndex: envIdx,
 		})
 	}
 }

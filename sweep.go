@@ -64,6 +64,16 @@ type SweepConfig struct {
 	// architecture when ArchID is set; 0 derives half the cell's trace
 	// budget (minimum 10).
 	ArchIDRuns int
+	// Topo additionally runs the topology-recovery stage per cell:
+	// attacker models are trained on a random zoo, a disjoint held-out
+	// zoo is reconstructed layer-by-layer at the cell's defense level,
+	// and the cell reports exact-layer-count and kind-recovery rates —
+	// the full reverse-engineering capability scored against the same
+	// defense grid.
+	Topo bool
+	// TopoHoldout is the held-out victim count when Topo is set; 0 uses
+	// the topo default.
+	TopoHoldout int
 	// Scenario is the template for per-dataset scenario construction
 	// (Dataset and Defense are overridden per grid point).
 	Scenario ScenarioConfig
@@ -120,7 +130,14 @@ type SweepResult struct {
 	ArchIDRuns        int     `json:"archid_runs"`
 	ArchIDTemplateAcc float64 `json:"archid_template_acc"`
 	ArchIDKNNAcc      float64 `json:"archid_knn_acc"`
-	WallMS            int64   `json:"wall_ms"`
+	// Topo-stage columns: layer-count and layer-kind recovery over
+	// TopoVictims held-out architectures (same stage-not-run convention:
+	// zero victims means the stage did not run and the rates are
+	// meaningless; the CSV leaves all three blank).
+	TopoVictims   int     `json:"topo_victims"`
+	TopoExactRate float64 `json:"topo_exact_rate"`
+	TopoKindAcc   float64 `json:"topo_kind_acc"`
+	WallMS        int64   `json:"wall_ms"`
 }
 
 // SweepGrid is the full sweep output.
@@ -263,7 +280,24 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					return
 				}
 			}
-			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, atk, arch, time.Since(start))
+			var tp *TopoResult
+			if cfg.Topo {
+				tp, err = scenarios[cl.dataset].TopoGrouped(ctx, cl.defense, TopoConfig{
+					Events:  cl.events,
+					Holdout: cfg.TopoHoldout,
+					Runs:    derivedHoldout(0, cl.runs),
+					Workers: cfg.Workers,
+					// Domain 5 keeps topo observations disjoint from the
+					// cell's evaluation (0), attack (3) and archid (4)
+					// campaigns.
+					Seed: core.DeriveSeed(cfg.Seed, cl.index, 5),
+				})
+				if err != nil {
+					fail(fmt.Errorf("sweep topo: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
+					return
+				}
+			}
+			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, atk, arch, tp, time.Since(start))
 			grid.Results[cl.index] = res
 			if progress != nil {
 				progressMu.Lock()
@@ -372,7 +406,7 @@ func derivedHoldout(configured, cellRuns int) int {
 	return n
 }
 
-func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int, rep *core.Report, atk *AttackResult, arch *ArchIDResult, wall time.Duration) SweepResult {
+func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int, rep *core.Report, atk *AttackResult, arch *ArchIDResult, tp *TopoResult, wall time.Duration) SweepResult {
 	res := SweepResult{
 		Dataset:  string(d),
 		Defense:  level.String(),
@@ -407,13 +441,18 @@ func summarize(d Dataset, level DefenseLevel, runs int, spec string, nEvents int
 		res.ArchIDTemplateAcc = arch.Attack.Template.Accuracy()
 		res.ArchIDKNNAcc = arch.Attack.KNN.Accuracy()
 	}
+	if tp != nil {
+		res.TopoVictims = len(tp.Victims)
+		res.TopoExactRate = tp.ExactCountRate
+		res.TopoKindAcc = tp.MeanKindAccuracy
+	}
 	return res
 }
 
 // WriteCSV emits the grid as a CSV table.
 func (g *SweepGrid) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"dataset", "defense", "runs", "events", "event_count", "tests", "alarms", "leaky", "min_p", "max_abs_t", "attack_runs", "template_acc", "knn_acc", "archid_runs", "archid_template_acc", "archid_knn_acc", "wall_ms"}); err != nil {
+	if err := cw.Write([]string{"dataset", "defense", "runs", "events", "event_count", "tests", "alarms", "leaky", "min_p", "max_abs_t", "attack_runs", "template_acc", "knn_acc", "archid_runs", "archid_template_acc", "archid_knn_acc", "topo_victims", "topo_exact_rate", "topo_kind_acc", "wall_ms"}); err != nil {
 		return err
 	}
 	for _, r := range g.Results {
@@ -429,6 +468,12 @@ func (g *SweepGrid) WriteCSV(w io.Writer) error {
 			archidTemplateAcc = strconv.FormatFloat(r.ArchIDTemplateAcc, 'g', 6, 64)
 			archidKNNAcc = strconv.FormatFloat(r.ArchIDKNNAcc, 'g', 6, 64)
 		}
+		topoVictims, topoExactRate, topoKindAcc := "", "", ""
+		if r.TopoVictims > 0 {
+			topoVictims = strconv.Itoa(r.TopoVictims)
+			topoExactRate = strconv.FormatFloat(r.TopoExactRate, 'g', 6, 64)
+			topoKindAcc = strconv.FormatFloat(r.TopoKindAcc, 'g', 6, 64)
+		}
 		rec := []string{
 			r.Dataset, r.Defense, strconv.Itoa(r.Runs), r.EventSet,
 			strconv.Itoa(r.Events), strconv.Itoa(r.Tests), strconv.Itoa(r.Alarms),
@@ -437,6 +482,7 @@ func (g *SweepGrid) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(r.MaxAbsT, 'g', 6, 64),
 			attackRuns, templateAcc, knnAcc,
 			archidRuns, archidTemplateAcc, archidKNNAcc,
+			topoVictims, topoExactRate, topoKindAcc,
 			strconv.FormatInt(r.WallMS, 10),
 		}
 		if err := cw.Write(rec); err != nil {

@@ -21,6 +21,8 @@ func smallSweepConfig() SweepConfig {
 		Seed:         3,
 		Attack:       true,
 		ArchID:       true,
+		Topo:         true,
+		TopoHoldout:  4,
 		Scenario: ScenarioConfig{
 			PerClassTrain: 20,
 			PerClassTest:  10,
@@ -68,6 +70,14 @@ func TestSweepGridShape(t *testing.T) {
 		if r.ArchIDTemplateAcc < 0 || r.ArchIDTemplateAcc > 1 || r.ArchIDKNNAcc < 0 || r.ArchIDKNNAcc > 1 {
 			t.Fatalf("cell %d: archid accuracies outside [0,1]: %+v", i, r)
 		}
+		// Topo-stage columns: the held-out victim count is the configured
+		// one, and the recovery rates are well-formed probabilities.
+		if r.TopoVictims != 4 {
+			t.Fatalf("cell %d: topo_victims %d, want 4", i, r.TopoVictims)
+		}
+		if r.TopoExactRate < 0 || r.TopoExactRate > 1 || r.TopoKindAcc < 0 || r.TopoKindAcc > 1 {
+			t.Fatalf("cell %d: topo rates outside [0,1]: %+v", i, r)
+		}
 		// The defense levels score differently on the model secret: the
 		// baseline cells fingerprint the architecture nearly perfectly,
 		// the (envelope-padded) constant-time cells sit near the 1/7
@@ -104,6 +114,9 @@ func TestSweepGridShape(t *testing.T) {
 	if !strings.Contains(lines[0], "archid_runs,archid_template_acc,archid_knn_acc") {
 		t.Fatalf("CSV header missing archid columns:\n%s", lines[0])
 	}
+	if !strings.Contains(lines[0], "topo_victims,topo_exact_rate,topo_kind_acc") {
+		t.Fatalf("CSV header missing topo columns:\n%s", lines[0])
+	}
 
 	var js strings.Builder
 	if err := grid.WriteJSON(&js); err != nil {
@@ -127,7 +140,8 @@ func TestSweepCSVAttackColumnsEmptyWhenDisabled(t *testing.T) {
 		{Dataset: "mnist", Defense: "baseline", Runs: 10, EventSet: "base", MinP: 1, AttackRuns: 10, TemplateAcc: 0.5, KNNAcc: 0.25},
 		{Dataset: "mnist", Defense: "baseline", Runs: 10, EventSet: "base", MinP: 1,
 			AttackRuns: 10, TemplateAcc: 0.5, KNNAcc: 0.25,
-			ArchIDRuns: 12, ArchIDTemplateAcc: 0.875, ArchIDKNNAcc: 0.75},
+			ArchIDRuns: 12, ArchIDTemplateAcc: 0.875, ArchIDKNNAcc: 0.75,
+			TopoVictims: 5, TopoExactRate: 1, TopoKindAcc: 0.9375},
 	}}
 	var b strings.Builder
 	if err := g.WriteCSV(&b); err != nil {
@@ -137,11 +151,11 @@ func TestSweepCSVAttackColumnsEmptyWhenDisabled(t *testing.T) {
 	if !strings.Contains(lines[1], ",,,,,,") {
 		t.Fatalf("disabled stages should leave blank columns: %s", lines[1])
 	}
-	if !strings.Contains(lines[2], ",10,0.5,0.25,,,,") {
-		t.Fatalf("attack-only row should fill attack columns and leave archid blank: %s", lines[2])
+	if !strings.Contains(lines[2], ",10,0.5,0.25,,,,,,,") {
+		t.Fatalf("attack-only row should fill attack columns and leave archid/topo blank: %s", lines[2])
 	}
-	if !strings.Contains(lines[3], ",10,0.5,0.25,12,0.875,0.75,") {
-		t.Fatalf("both stages enabled should fill all columns: %s", lines[3])
+	if !strings.Contains(lines[3], ",10,0.5,0.25,12,0.875,0.75,5,1,0.9375,") {
+		t.Fatalf("all stages enabled should fill all columns: %s", lines[3])
 	}
 }
 
@@ -197,7 +211,7 @@ func TestParseClasses(t *testing.T) {
 }
 
 func TestParseDefense(t *testing.T) {
-	for _, l := range []DefenseLevel{DefenseBaseline, DefenseDense, DefenseConstantTime, DefenseNoiseInjection} {
+	for _, l := range AllDefenses() {
 		got, err := ParseDefense(l.String())
 		if err != nil || got != l {
 			t.Fatalf("ParseDefense(%q) = %v, %v", l.String(), got, err)

@@ -1,0 +1,197 @@
+package repro
+
+// Topology-recovery regression tests: a golden report pinning the
+// reconstruction of a fixed held-out victim zoo at both the baseline and
+// padded-envelope levels, the byte-invariance guarantee across worker
+// counts, and the acceptance thresholds (exact layer counts and layer
+// kinds on ≥90% of never-profiled baseline victims; kind recovery within
+// 1.5× of chance under the envelope pad). Regenerate the golden file
+// deliberately with:
+//
+//	go test -run TestTopoGoldenReport -update .
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/topo"
+)
+
+const goldenTopoPath = "testdata/golden_topo.json"
+
+// goldenTopoCampaign is one level's serialized reconstruction outcome.
+// Victim scorecards are integer counts, small-ratio floats and
+// deterministic footprint errors, so everything is compared exactly.
+type goldenTopoCampaign struct {
+	Name                string              `json:"name"`
+	Defense             string              `json:"defense"`
+	Padded              bool                `json:"padded"`
+	Events              []string            `json:"events"`
+	Quantum             uint64              `json:"quantum"`
+	TrainSpecs          []nn.SpecInfo       `json:"train_specs"`
+	HoldoutSpecs        []nn.SpecInfo       `json:"holdout_specs"`
+	Kinds               []string            `json:"kinds"`
+	ChanceKind          float64             `json:"chance_kind"`
+	Victims             []topo.VictimResult `json:"victims"`
+	ExactCountRate      float64             `json:"exact_count_rate"`
+	MeanKindAccuracy    float64             `json:"mean_kind_accuracy"`
+	MeanParamRelErr     float64             `json:"mean_param_rel_err"`
+	MeanFootprintRelErr float64             `json:"mean_footprint_rel_err"`
+}
+
+// goldenTopo pins the attack and defense directions of the scenario in
+// one file: the same held-out victims reconstructed at baseline and under
+// the envelope pad.
+type goldenTopo struct {
+	Baseline goldenTopoCampaign `json:"baseline"`
+	Padded   goldenTopoCampaign `json:"padded"`
+}
+
+func toGoldenTopoCampaign(res *TopoResult) goldenTopoCampaign {
+	g := goldenTopoCampaign{
+		Name:                res.Name,
+		Defense:             res.Level.String(),
+		Padded:              res.Padded,
+		Quantum:             res.Quantum,
+		TrainSpecs:          res.TrainSpecs,
+		HoldoutSpecs:        res.HoldoutSpecs,
+		Kinds:               res.Kinds,
+		ChanceKind:          res.ChanceKind,
+		Victims:             res.Victims,
+		ExactCountRate:      res.ExactCountRate,
+		MeanKindAccuracy:    res.MeanKindAccuracy,
+		MeanParamRelErr:     res.MeanParamRelErr,
+		MeanFootprintRelErr: res.MeanFootprintRelErr,
+	}
+	for _, e := range res.Events {
+		g.Events = append(g.Events, e.String())
+	}
+	return g
+}
+
+// goldenTopoCampaigns runs the fixed campaigns the golden file pins: the
+// small shared attack scenario's held-out zoo (6 training architectures,
+// 5 victims, 6 measured runs each) reconstructed at baseline and at
+// padded-envelope, root seed 17.
+func goldenTopoCampaigns(t *testing.T, workers int) goldenTopo {
+	t.Helper()
+	run := func(level DefenseLevel) goldenTopoCampaign {
+		res, err := attackScenario(t).TopoGrouped(context.Background(), level, TopoConfig{
+			TrainZoo:  6,
+			Holdout:   5,
+			Runs:      6,
+			MaxInputs: 8,
+			Workers:   workers,
+			Seed:      17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return toGoldenTopoCampaign(res)
+	}
+	return goldenTopo{
+		Baseline: run(DefenseBaseline),
+		Padded:   run(DefensePaddedEnvelope),
+	}
+}
+
+// normalizeGoldenTopo round-trips the in-memory result through its JSON
+// form, dropping non-serialized scorer internals (LayerTruth.InVol) so
+// the comparison sees exactly what the golden file pins.
+func normalizeGoldenTopo(t *testing.T, g goldenTopo) goldenTopo {
+	t.Helper()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out goldenTopo
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestTopoGoldenReport(t *testing.T) {
+	got := goldenTopoCampaigns(t, 2)
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenTopoPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTopoPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden topo report rewritten: %s", goldenTopoPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenTopoPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestTopoGoldenReport -update .` to create it): %v", err)
+	}
+	var want goldenTopo
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	got = normalizeGoldenTopo(t, got)
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("topo result diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", gotJSON, data)
+	}
+	// The golden campaigns must show the headline result in both
+	// directions: near-perfect reconstruction of never-profiled victims at
+	// baseline, collapse to (within 1.5× of) chance under the envelope pad.
+	if got.Baseline.ExactCountRate < 0.9 {
+		t.Fatalf("golden baseline exact layer-count rate = %.3f, want >= 0.9", got.Baseline.ExactCountRate)
+	}
+	if got.Baseline.MeanKindAccuracy < 0.9 {
+		t.Fatalf("golden baseline kind accuracy = %.3f, want >= 0.9", got.Baseline.MeanKindAccuracy)
+	}
+	if got.Padded.MeanKindAccuracy > 1.5*got.Padded.ChanceKind {
+		t.Fatalf("golden padded kind accuracy = %.3f, want <= 1.5x chance (%.3f)",
+			got.Padded.MeanKindAccuracy, got.Padded.ChanceKind)
+	}
+	// Train/holdout disjointness is part of the pinned contract.
+	trained := map[string]bool{}
+	for _, s := range got.Baseline.TrainSpecs {
+		trained[s.Name] = true
+	}
+	for _, s := range got.Baseline.HoldoutSpecs {
+		if trained[s.Name] {
+			t.Fatalf("held-out victim %q appears in the training zoo", s.Name)
+		}
+	}
+}
+
+// TestTopoGoldenByteInvariantAcrossWorkers executes the exact golden
+// campaigns at workers=1 and workers=8; the serialized reports must be
+// byte-for-byte identical to each other and to the committed golden file.
+func TestTopoGoldenByteInvariantAcrossWorkers(t *testing.T) {
+	marshal := func(workers int) []byte {
+		data, err := json.MarshalIndent(goldenTopoCampaigns(t, workers), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	one, eight := marshal(1), marshal(8)
+	if string(one) != string(eight) {
+		t.Fatalf("workers=1 and workers=8 topo reports differ:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", one, eight)
+	}
+	want, err := os.ReadFile(goldenTopoPath)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if string(one)+"\n" != string(want) {
+		t.Fatalf("topo report diverged from committed golden:\n--- got ---\n%s\n--- want ---\n%s", one, want)
+	}
+}
