@@ -11,12 +11,12 @@
 GO ?= go
 
 # PR number stamped into the benchmark trajectory snapshot.
-BENCH_PR ?= 5
+BENCH_PR ?= 6
 BENCH_JSON ?= BENCH_PR$(BENCH_PR).json
 # Key micro/campaign benches tracked across PRs.
 BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage|BenchmarkTopoStage
 
-.PHONY: all build vet test race bench bench-json allocgate benchsmoke ci golden
+.PHONY: all build vet test race bench bench-json allocgate benchsmoke fabricsmoke ci golden
 
 all: build
 
@@ -51,10 +51,24 @@ allocgate:
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess$$|BenchmarkClassifyMNIST$$' -benchtime=100x .
 
+# Multi-process determinism smoke for the distributed audit fabric: the
+# same campaign is run through the CLI at -processes 1 and -processes 2
+# and the raw distribution CSVs must be byte-identical. (The fabric's
+# full fault-injection suite runs under -race as part of `race`.)
+fabricsmoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf '"$$tmp" EXIT; \
+	$(GO) build -o $$tmp/shardworker ./cmd/shardworker; \
+	$(GO) run ./cmd/evaluate -dataset mnist -classes 1,2 -runs 30 -workers 2 -seed 17 \
+		-processes 1 -worker-bin $$tmp/shardworker -csv $$tmp/p1.csv >/dev/null; \
+	$(GO) run ./cmd/evaluate -dataset mnist -classes 1,2 -runs 30 -workers 2 -seed 17 \
+		-processes 2 -worker-bin $$tmp/shardworker -csv $$tmp/p2.csv >/dev/null; \
+	cmp $$tmp/p1.csv $$tmp/p2.csv; \
+	echo "fabricsmoke: processes=1 and processes=2 distributions are byte-identical"
+
 # Regenerate all four golden reports (end-to-end evaluation, attack
 # stage, architecture fingerprinting, topology recovery) after a
 # *deliberate* behavior change (review the diff before committing it).
 golden:
 	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport|TestTopoGoldenReport' -update .
 
-ci: vet build race allocgate benchsmoke bench
+ci: vet build race allocgate benchsmoke fabricsmoke bench

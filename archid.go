@@ -49,6 +49,12 @@ type ArchIDConfig struct {
 	MaxInputs int
 	// NoPad disables the constant-time envelope padding (ablation).
 	NoPad bool
+	// Processes distributes shard execution over that many shardworker OS
+	// processes through the distributed audit fabric; 0 keeps execution
+	// in-process. Results are byte-identical either way.
+	Processes int
+	// Fabric configures the fabric when Processes ≥ 1.
+	Fabric FabricConfig
 }
 
 // ArchZoo returns the scenario's candidate-architecture hypothesis space:
@@ -117,9 +123,35 @@ func (s *Scenario) ArchIDGrouped(ctx context.Context, level DefenseLevel, cfg Ar
 		if hi > len(events) {
 			hi = len(events)
 		}
-		part, err := camp.Collect(ctx, events[lo:hi], g)
-		if err != nil {
-			return nil, err
+		var part map[int][]hpc.Profile
+		if cfg.Processes > 0 {
+			p, _, err := camp.SessionExecutor(events[lo:hi], g)
+			if err != nil {
+				return nil, err
+			}
+			spec := WorkerSpec{
+				Stage:       StageArchID,
+				Scenario:    s.spec(),
+				Level:       level.String(),
+				Events:      eventNames(events[lo:hi]),
+				Session:     g,
+				Seed:        seed,
+				ProfileRuns: cfg.ProfileRuns,
+				AttackRuns:  cfg.AttackRuns,
+				MaxInputs:   cfg.MaxInputs,
+				NoPad:       cfg.NoPad,
+				ShardRuns:   cfg.ShardRuns,
+			}
+			part, err = collectFabric(ctx, p, camp.Pools(), spec, cfg.Processes, cfg.Fabric)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			part, err = camp.Collect(ctx, events[lo:hi], g)
+			if err != nil {
+				return nil, err
+			}
 		}
 		joinProfiles(byArch, part)
 	}

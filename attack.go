@@ -52,6 +52,12 @@ type AttackConfig struct {
 	// ShardRuns bounds measured runs per shard; 0 uses the pipeline
 	// default.
 	ShardRuns int
+	// Processes distributes shard execution over that many shardworker OS
+	// processes through the distributed audit fabric; 0 keeps execution
+	// in-process. Confusion matrices are byte-identical either way.
+	Processes int
+	// Fabric configures the fabric when Processes ≥ 1.
+	Fabric FabricConfig
 }
 
 func (c AttackConfig) withDefaults() AttackConfig {
@@ -128,9 +134,11 @@ func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg At
 		})
 	}
 
-	// The common case — the event set fits the register file — is one
-	// campaign on the pipeline's canonical attack path.
-	if len(cfg.Events) <= hpc.DefaultCounters {
+	// The common case — the event set fits the register file and shards
+	// run in-process — is one campaign on the pipeline's canonical attack
+	// path. (The fabric path below decomposes into the exact same collect,
+	// split and evaluate steps, so both produce identical bytes.)
+	if len(cfg.Events) <= hpc.DefaultCounters && cfg.Processes == 0 {
 		p, err := groupPipeline(0)
 		if err != nil {
 			return nil, err
@@ -138,16 +146,37 @@ func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg At
 		return p.Attack(ctx, name, factory, pools, cfg.ProfileRuns, cfg.K)
 	}
 
-	// Wide event sets: one collection campaign per register-sized group;
-	// profiles of the same (class, run) are joined across groups into one
-	// feature vector.
+	// Wide event sets (and all fabric campaigns): one collection campaign
+	// per register-sized group; profiles of the same (class, run) are
+	// joined across groups into one feature vector.
 	byClass := map[int][]hpc.Profile{}
 	for g := 0; g*hpc.DefaultCounters < len(cfg.Events); g++ {
 		p, err := groupPipeline(g)
 		if err != nil {
 			return nil, err
 		}
-		part, err := p.CollectProfiles(ctx, factory, pools)
+		var part map[int][]hpc.Profile
+		if cfg.Processes > 0 {
+			lo := g * hpc.DefaultCounters
+			hi := lo + hpc.DefaultCounters
+			if hi > len(cfg.Events) {
+				hi = len(cfg.Events)
+			}
+			spec := WorkerSpec{
+				Stage:        StageAttack,
+				Scenario:     s.spec(),
+				Level:        level.String(),
+				Events:       eventNames(cfg.Events[lo:hi]),
+				Session:      g,
+				Classes:      cfg.Classes,
+				RunsPerClass: total,
+				RootSeed:     core.DeriveSeed(seed, g, 2),
+				ShardRuns:    cfg.ShardRuns,
+			}
+			part, err = collectFabric(ctx, p, pools, spec, cfg.Processes, cfg.Fabric)
+		} else {
+			part, err = p.CollectProfiles(ctx, factory, pools)
+		}
 		if err != nil {
 			return nil, err
 		}

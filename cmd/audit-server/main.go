@@ -1,0 +1,138 @@
+// Command audit-server is the distributed audit fabric's HTTP
+// front-end: clients POST campaign requests, the server queues and runs
+// them one at a time (each campaign may itself fan out over shardworker
+// processes), and the finished JSON reports are served back by id.
+//
+// Usage:
+//
+//	audit-server [-addr :8347] [-processes 4] [-worker-bin PATH]
+//	             [-journal BASE] [-fabric-tcp]
+//
+// API:
+//
+//	POST /campaigns      {"stage":"report","scenario":{"dataset":"mnist",...},...}
+//	                     → 202 {"id":1,"state":"queued"}
+//	GET  /campaigns      → every campaign, submission order
+//	GET  /campaigns/1    → state + report once done
+//
+// Every report is byte-reproducible: a campaign's bytes depend only on
+// its request, never on the queue around it or the process count.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro"
+	"repro/internal/hpc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("audit-server: ")
+	var (
+		addr      = flag.String("addr", ":8347", "HTTP listen address")
+		processes = flag.Int("processes", 0, "shardworker processes per campaign; 0 = in-process collection")
+		workerBin = flag.String("worker-bin", "", "shardworker binary (default $REPRO_SHARDWORKER)")
+		journal   = flag.String("journal", "", "base path for shard-completion journals; empty disables resume")
+		fabricTCP = flag.Bool("fabric-tcp", false, "dispatch shards over loopback TCP instead of pipes")
+	)
+	flag.Parse()
+
+	fc := repro.FabricConfig{WorkerBin: *workerBin, Journal: *journal, TCP: *fabricTCP}
+	s := newServer(func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+		return runCampaign(ctx, req, *processes, fc)
+	})
+	defer s.Close()
+
+	log.Printf("listening on %s (processes=%d)", *addr, *processes)
+	log.Fatal(http.ListenAndServe(*addr, s.handler()))
+}
+
+// runCampaign executes one queued request with the real repro stages.
+func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc repro.FabricConfig) (json.RawMessage, error) {
+	level, err := repro.ParseDefense(req.Scenario.Defense)
+	if err != nil {
+		return nil, err
+	}
+	s, err := repro.NewScenario(repro.ScenarioConfig{
+		Dataset:        req.Scenario.Dataset,
+		Seed:           req.Scenario.Seed,
+		PerClassTrain:  req.Scenario.PerClassTrain,
+		PerClassTest:   req.Scenario.PerClassTest,
+		Epochs:         req.Scenario.Epochs,
+		LR:             req.Scenario.LR,
+		Defense:        level,
+		DisableRuntime: req.Scenario.DisableRuntime,
+		DisableNoise:   req.Scenario.DisableNoise,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var events []repro.Event
+	if len(req.Events) > 0 {
+		for _, name := range req.Events {
+			evs, err := hpc.ParseEventSpec(name)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, evs...)
+		}
+	}
+
+	var result any
+	switch req.Stage {
+	case repro.StageReport:
+		result, err = s.EvaluateCtx(ctx, repro.EvalConfig{
+			Classes:      req.Classes,
+			Events:       events,
+			RunsPerClass: req.Runs,
+			Workers:      1,
+			Seed:         req.Seed,
+			Processes:    processes,
+			Fabric:       fc,
+		})
+	case repro.StageAttack:
+		result, err = s.Attack(ctx, repro.AttackConfig{
+			Classes:     req.Classes,
+			Events:      events,
+			ProfileRuns: req.Runs,
+			AttackRuns:  req.AttackRuns,
+			Workers:     1,
+			Seed:        req.Seed,
+			Processes:   processes,
+			Fabric:      fc,
+		})
+	case repro.StageArchID:
+		result, err = s.ArchID(ctx, repro.ArchIDConfig{
+			Events:      events,
+			ProfileRuns: req.Runs,
+			AttackRuns:  req.AttackRuns,
+			MaxInputs:   req.MaxInputs,
+			Workers:     1,
+			Seed:        req.Seed,
+			Processes:   processes,
+			Fabric:      fc,
+		})
+	case repro.StageTopo:
+		result, err = s.Topo(ctx, repro.TopoConfig{
+			Events:    events,
+			Runs:      req.Runs,
+			MaxInputs: req.MaxInputs,
+			Workers:   1,
+			Seed:      req.Seed,
+			Processes: processes,
+			Fabric:    fc,
+		})
+	default:
+		return nil, fmt.Errorf("unknown stage %q", req.Stage)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(result)
+}

@@ -1,0 +1,226 @@
+package main
+
+// The audit server's queue and HTTP surface, separated from main so the
+// handlers and lifecycle are unit-testable with an injected run
+// function instead of multi-minute real campaigns.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// CampaignRequest is the POST /campaigns body: one audit campaign,
+// declared with the same spec vocabulary the fabric's worker protocol
+// uses. Budgets left zero take the stage's documented defaults.
+type CampaignRequest struct {
+	// Stage selects the audit: report, attack, archid or topo.
+	Stage string `json:"stage"`
+	// Scenario is the case study to rebuild (repro.ScenarioSpec).
+	Scenario repro.ScenarioSpec `json:"scenario"`
+	// Events are the monitored counters; empty uses the stage default.
+	Events []string `json:"events,omitempty"`
+	// Classes are the report/attack input categories.
+	Classes []int `json:"classes,omitempty"`
+	// Runs is the main per-class/per-victim run budget of the stage.
+	Runs int `json:"runs,omitempty"`
+	// AttackRuns is the held-out scoring budget (attack/archid).
+	AttackRuns int `json:"attack_runs,omitempty"`
+	// MaxInputs caps the stage's input pool.
+	MaxInputs int `json:"max_inputs,omitempty"`
+	// Seed overrides the campaign root seed; 0 uses the scenario seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Processes distributes collection over shardworker processes; 0
+	// runs in-process. Reports are byte-identical either way.
+	Processes int `json:"processes,omitempty"`
+}
+
+// campaignState is a queued campaign's lifecycle phase.
+type campaignState string
+
+const (
+	stateQueued  campaignState = "queued"
+	stateRunning campaignState = "running"
+	stateDone    campaignState = "done"
+	stateFailed  campaignState = "failed"
+)
+
+// campaign is one queued audit and its outcome.
+type campaign struct {
+	ID        int             `json:"id"`
+	State     campaignState   `json:"state"`
+	Request   CampaignRequest `json:"request"`
+	Error     string          `json:"error,omitempty"`
+	Report    json.RawMessage `json:"report,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+}
+
+// runFunc executes one campaign and returns its JSON report. main
+// installs runCampaign; tests install fakes.
+type runFunc func(ctx context.Context, req CampaignRequest) (json.RawMessage, error)
+
+// server queues campaigns and serves their reports. Campaigns run one
+// at a time in submission order — the fabric already parallelizes
+// inside a campaign, so the queue stays strictly FIFO and every report
+// is reproducible independent of what else was submitted.
+type server struct {
+	run runFunc
+
+	mu        sync.Mutex
+	campaigns map[int]*campaign
+	order     []int
+	nextID    int
+
+	queue chan int
+	done  chan struct{}
+}
+
+func newServer(run runFunc) *server {
+	s := &server{
+		run:       run,
+		campaigns: map[int]*campaign{},
+		nextID:    1,
+		queue:     make(chan int, 1024),
+		done:      make(chan struct{}),
+	}
+	go s.worker()
+	return s
+}
+
+// worker drains the queue sequentially until Close.
+func (s *server) worker() {
+	for id := range s.queue {
+		s.mu.Lock()
+		c := s.campaigns[id]
+		c.State = stateRunning
+		req := c.Request
+		s.mu.Unlock()
+
+		report, err := s.run(context.Background(), req)
+
+		s.mu.Lock()
+		if err != nil {
+			c.State = stateFailed
+			c.Error = err.Error()
+		} else {
+			c.State = stateDone
+			c.Report = report
+		}
+		s.mu.Unlock()
+	}
+	close(s.done)
+}
+
+// Close stops accepting work and waits for the in-flight campaign.
+func (s *server) Close() {
+	close(s.queue)
+	<-s.done
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/campaigns", s.handleCampaigns)
+	mux.HandleFunc("/campaigns/", s.handleCampaign)
+	return mux
+}
+
+// handleCampaigns serves POST /campaigns (enqueue) and GET /campaigns
+// (list all, newest last).
+func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req CampaignRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding campaign request: %v", err)
+			return
+		}
+		if err := validateRequest(req); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		id := s.nextID
+		s.nextID++
+		c := &campaign{ID: id, State: stateQueued, Request: req, Submitted: time.Now().UTC()}
+		s.campaigns[id] = c
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		s.queue <- id
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": stateQueued})
+	case http.MethodGet:
+		s.mu.Lock()
+		list := make([]*campaign, 0, len(s.order))
+		for _, id := range s.order {
+			list = append(list, snapshot(s.campaigns[id]))
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, list)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// handleCampaign serves GET /campaigns/<id>: state plus, once done, the
+// full JSON report.
+func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/campaigns/"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "campaign ids are integers")
+		return
+	}
+	s.mu.Lock()
+	c, ok := s.campaigns[id]
+	if ok {
+		c = snapshot(c)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no campaign %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, c)
+}
+
+// snapshot copies a campaign under the caller's lock so handlers never
+// serialize a struct the worker goroutine is mutating.
+func snapshot(c *campaign) *campaign {
+	cp := *c
+	return &cp
+}
+
+func validateRequest(req CampaignRequest) error {
+	switch req.Stage {
+	case repro.StageReport, repro.StageAttack, repro.StageArchID, repro.StageTopo:
+	default:
+		return fmt.Errorf("unknown stage %q (want report, attack, archid or topo)", req.Stage)
+	}
+	if req.Scenario.Dataset == "" {
+		return fmt.Errorf("campaign needs a scenario dataset")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// newTestServer builds a server around run and an httptest front-end.
+func newTestServer(t *testing.T, run runFunc) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(run)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postCampaign(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /campaigns: %v", err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}
+
+// waitState polls GET /campaigns/<id> until the campaign reaches want.
+func waitState(t *testing.T, ts *httptest.Server, id int, want campaignState) campaign {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/campaigns/%d", ts.URL, id))
+		if err != nil {
+			t.Fatalf("GET campaign %d: %v", id, err)
+		}
+		var c campaign
+		decodeBody(t, resp, &c)
+		if c.State == want {
+			return c
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %d stuck in %q, want %q", id, c.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+const validBody = `{"stage":"report","scenario":{"dataset":"mnist","defense":"baseline"}}`
+
+func TestServerQueuesAndServesReport(t *testing.T) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+		return json.RawMessage(fmt.Sprintf(`{"stage":%q,"ok":true}`, req.Stage)), nil
+	})
+
+	resp := postCampaign(t, ts, validBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want %d", resp.StatusCode, http.StatusAccepted)
+	}
+	var ack struct {
+		ID    int           `json:"id"`
+		State campaignState `json:"state"`
+	}
+	decodeBody(t, resp, &ack)
+	if ack.ID != 1 || ack.State != stateQueued {
+		t.Fatalf("ack = %+v, want id 1 queued", ack)
+	}
+
+	c := waitState(t, ts, ack.ID, stateDone)
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, c.Report); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if compact.String() != `{"stage":"report","ok":true}` {
+		t.Fatalf("report = %s", c.Report)
+	}
+	if c.Error != "" {
+		t.Fatalf("unexpected error %q", c.Error)
+	}
+}
+
+func TestServerRunsCampaignsSequentiallyInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var ran []string
+	running := 0
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+		mu.Lock()
+		running++
+		if running > 1 {
+			mu.Unlock()
+			return nil, fmt.Errorf("overlapping campaigns")
+		}
+		mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+		mu.Lock()
+		running--
+		ran = append(ran, req.Stage)
+		mu.Unlock()
+		return json.RawMessage(`{}`), nil
+	})
+
+	stages := []string{repro.StageReport, repro.StageAttack, repro.StageArchID, repro.StageTopo}
+	var lastID int
+	for _, st := range stages {
+		resp := postCampaign(t, ts, fmt.Sprintf(`{"stage":%q,"scenario":{"dataset":"mnist","defense":"baseline"}}`, st))
+		var ack struct {
+			ID int `json:"id"`
+		}
+		decodeBody(t, resp, &ack)
+		lastID = ack.ID
+	}
+	waitState(t, ts, lastID, stateDone)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(ran) != fmt.Sprint(stages) {
+		t.Fatalf("ran %v, want FIFO %v", ran, stages)
+	}
+}
+
+func TestServerReportsCampaignFailure(t *testing.T) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+		return nil, fmt.Errorf("synthetic campaign failure")
+	})
+	resp := postCampaign(t, ts, validBody)
+	var ack struct {
+		ID int `json:"id"`
+	}
+	decodeBody(t, resp, &ack)
+
+	c := waitState(t, ts, ack.ID, stateFailed)
+	if !strings.Contains(c.Error, "synthetic campaign failure") {
+		t.Fatalf("error = %q", c.Error)
+	}
+	if len(c.Report) != 0 {
+		t.Fatalf("failed campaign has a report: %s", c.Report)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+		t.Error("run called for a rejected request")
+		return nil, nil
+	})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{"stage":`},
+		{"unknown field", `{"stage":"report","bogus":1}`},
+		{"unknown stage", `{"stage":"exfiltrate","scenario":{"dataset":"mnist"}}`},
+		{"missing dataset", `{"stage":"report","scenario":{}}`},
+	}
+	for _, tc := range cases {
+		resp := postCampaign(t, ts, tc.body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		decodeBody(t, resp, &e)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: no error message", tc.name)
+		}
+	}
+}
+
+func TestServerListsCampaignsAndHandles404(t *testing.T) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	})
+	var lastID int
+	for i := 0; i < 3; i++ {
+		resp := postCampaign(t, ts, validBody)
+		var ack struct {
+			ID int `json:"id"`
+		}
+		decodeBody(t, resp, &ack)
+		lastID = ack.ID
+	}
+	waitState(t, ts, lastID, stateDone)
+
+	resp, err := http.Get(ts.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []campaign
+	decodeBody(t, resp, &list)
+	if len(list) != 3 {
+		t.Fatalf("listed %d campaigns, want 3", len(list))
+	}
+	for i, c := range list {
+		if c.ID != i+1 {
+			t.Fatalf("list order %v, want submission order", list)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/campaigns/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing campaign status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -7,11 +7,17 @@
 //
 //	evaluate -dataset mnist [-runs 300] [-classes 1,2,3,4] [-defense baseline]
 //	         [-alpha 0.05] [-csv out.csv] [-events base] [-workers N] [-seed 1]
+//	         [-processes N] [-worker-bin PATH] [-journal BASE] [-fabric-tcp]
 //
 // With -workers ≥ 1 the campaign runs on the concurrent sharded pipeline:
 // collection fans out over the worker pool with deterministic per-shard
 // seeds derived from -seed, so any worker count reproduces the same
 // report. -workers 0 keeps the legacy sequential path.
+//
+// With -processes ≥ 1 the same shard plan is executed by shardworker OS
+// processes through the distributed audit fabric; reports stay
+// byte-identical at any process count, and -journal makes an interrupted
+// campaign resumable from its completed shards.
 package main
 
 import (
@@ -39,6 +45,11 @@ func main() {
 		events  = flag.String("events", "base", "event set (base, fig2b, extended) or comma-separated event list")
 		workers = flag.Int("workers", 0, "pipeline workers; 0 = legacy sequential path, -1 = GOMAXPROCS")
 		seed    = flag.Int64("seed", 0, "pipeline root seed for per-shard RNG derivation; 0 = scenario seed")
+
+		processes = flag.Int("processes", 0, "shardworker OS processes via the distributed audit fabric; 0 = in-process")
+		workerBin = flag.String("worker-bin", "", "shardworker binary for -processes (default $REPRO_SHARDWORKER)")
+		journal   = flag.String("journal", "", "shard-completion journal base path; reruns resume finished shards")
+		fabricTCP = flag.Bool("fabric-tcp", false, "dispatch fabric shards over loopback TCP instead of pipes")
 	)
 	flag.Parse()
 
@@ -84,6 +95,8 @@ func main() {
 	evalCfg := repro.EvalConfig{
 		Classes: cls, Events: evs, RunsPerClass: *runs, Alpha: *alpha,
 		Workers: nw, Seed: *seed,
+		Processes: *processes,
+		Fabric:    repro.FabricConfig{WorkerBin: *workerBin, Journal: *journal, TCP: *fabricTCP},
 	}
 	var rep *repro.Report
 	if grouped {

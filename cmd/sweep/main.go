@@ -11,6 +11,7 @@
 //	      [-events "base;fig2b"] [-classes 1,2,3,4] [-alpha 0.05]
 //	      [-workers N] [-cell-parallel 2] [-seed 1] [-attack] [-attack-runs N]
 //	      [-archid] [-archid-runs N] [-topo] [-topo-holdout N]
+//	      [-processes N] [-worker-bin PATH] [-journal BASE] [-fabric-tcp]
 //	      [-format csv|json] [-o grid.csv]
 //
 // Event sets are separated by semicolons; each set is a named set (base,
@@ -57,6 +58,11 @@ func main() {
 		perTrain     = flag.Int("train", 0, "per-class training images (0 = paper default)")
 		perTest      = flag.Int("test", 0, "per-class test images (0 = paper default)")
 		epochs       = flag.Int("epochs", 0, "training epochs (0 = paper default)")
+
+		processes = flag.Int("processes", 0, "shardworker OS processes per cell via the distributed audit fabric; 0 = in-process")
+		workerBin = flag.String("worker-bin", "", "shardworker binary for -processes (default $REPRO_SHARDWORKER)")
+		journal   = flag.String("journal", "", "shard-completion journal base path; reruns resume finished shards")
+		fabricTCP = flag.Bool("fabric-tcp", false, "dispatch fabric shards over loopback TCP instead of pipes")
 	)
 	flag.Parse()
 	if *format != "csv" && *format != "json" {
@@ -81,6 +87,8 @@ func main() {
 		ArchIDRuns:   *archidRuns,
 		Topo:         *topoStage,
 		TopoHoldout:  *topoHoldout,
+		Processes:    *processes,
+		Fabric:       repro.FabricConfig{WorkerBin: *workerBin, Journal: *journal, TCP: *fabricTCP},
 		Scenario: repro.ScenarioConfig{
 			PerClassTrain: *perTrain,
 			PerClassTest:  *perTest,

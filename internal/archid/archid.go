@@ -229,6 +229,16 @@ func (c *Campaign) Padded() bool { return c.env != nil }
 // the class-aware factory; sessions of the same campaign observe the same
 // victims with disjoint observation seeds.
 func (c *Campaign) Collect(ctx context.Context, events []march.Event, session int) (map[int][]hpc.Profile, error) {
+	p, err := c.sessionPipeline(events, session)
+	if err != nil {
+		return nil, err
+	}
+	return p.CollectProfilesByClass(ctx, c.factory(), c.Pools())
+}
+
+// sessionPipeline builds one collection session's pipeline: session-
+// derived root seed over the campaign's run budget.
+func (c *Campaign) sessionPipeline(events []march.Event, session int) (*pipeline.Pipeline, error) {
 	if len(events) == 0 || len(events) > hpc.DefaultCounters {
 		return nil, fmt.Errorf("archid: a session counts 1..%d events, got %d (split wide sets into register groups)",
 			hpc.DefaultCounters, len(events))
@@ -240,19 +250,40 @@ func (c *Campaign) Collect(ctx context.Context, events []march.Event, session in
 	if err != nil {
 		return nil, err
 	}
-	p, err := pipeline.New(ev, pipeline.Config{
+	return pipeline.New(ev, pipeline.Config{
 		Workers:   c.cfg.Workers,
 		RootSeed:  core.DeriveSeed(c.cfg.Seed, session, seedDomainPipeline),
 		ShardRuns: c.cfg.ShardRuns,
 	})
-	if err != nil {
-		return nil, err
-	}
+}
+
+// Pools returns the per-architecture input pools of a collection session:
+// every candidate deployment classifies the shared campaign pool.
+func (c *Campaign) Pools() map[int][]*tensor.Tensor {
 	perClass := make(map[int][]*tensor.Tensor, c.cfg.Zoo.Len())
 	for _, s := range c.cfg.Zoo.Specs() {
 		perClass[s.ID] = c.cfg.Inputs
 	}
-	return p.CollectProfilesByClass(ctx, c.factory(), perClass)
+	return perClass
+}
+
+// SessionExecutor builds one collection session's pipeline and plan
+// executor — the two halves the distributed fabric splits across
+// processes: the coordinator plans shards and merges payloads with the
+// pipeline, and a shardworker process executes plans with the executor.
+// Both sides rebuild identical state from the campaign configuration
+// alone, which is what keeps fabric campaigns byte-identical to
+// in-process ones.
+func (c *Campaign) SessionExecutor(events []march.Event, session int) (*pipeline.Pipeline, *pipeline.Executor, error) {
+	p, err := c.sessionPipeline(events, session)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec, err := p.Executor(c.factory(), c.Pools())
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, exec, nil
 }
 
 // Score fits and scores both attackers on collected profiles (events must

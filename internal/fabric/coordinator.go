@@ -1,0 +1,116 @@
+package fabric
+
+// The coordinator: owns a campaign's shard plans, feeds them to a
+// Dispatcher (in-process or a shardworker ProcPool), journals every
+// completion, and assembles the results strictly in plan order. All
+// ordering and merge decisions live here, keyed by shard id — arrival
+// order is deliberately unobservable, which is what makes processes=1
+// and processes=N byte-identical.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// CampaignDigest binds a journal to a campaign: the canonical digest of
+// the campaign spec bytes.
+func CampaignDigest(spec []byte) string {
+	return pipeline.PayloadDigest(spec)
+}
+
+// Coordinator runs shard plans through a dispatcher with journaled
+// resumption.
+type Coordinator struct {
+	// Dispatcher executes the plans (pipeline.InProcess or *ProcPool).
+	Dispatcher pipeline.Dispatcher
+	// Journal, when non-nil, is consulted before dispatching (journaled
+	// shards are served from it without re-execution) and appended to
+	// after every completed shard.
+	Journal *Journal
+}
+
+// Run executes every plan and returns the result payloads in plan order:
+// payloads[i] belongs to plans[i], regardless of which worker finished
+// first. On the first failure it cancels all outstanding dispatches,
+// waits for them to drain, and returns that error; shards journaled
+// before the failure remain journaled, so a rerun resumes rather than
+// restarts.
+func (c *Coordinator) Run(ctx context.Context, plans []pipeline.Plan) ([][]byte, error) {
+	payloads := make([][]byte, len(plans))
+	var pending []int
+	for i, pl := range plans {
+		if c.Journal != nil {
+			if p, ok := c.Journal.Payload(pl.Index); ok {
+				payloads[i] = p
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return payloads, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	procs := c.Dispatcher.Procs()
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > len(pending) {
+		procs = len(pending)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	jobs := make(chan int)
+	for k := 0; k < procs; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				payload, err := c.Dispatcher.Dispatch(runCtx, plans[i])
+				if err != nil {
+					fail(fmt.Errorf("fabric: shard %d: %w", plans[i].Index, err))
+					return
+				}
+				if c.Journal != nil {
+					if err := c.Journal.Append(plans[i].Index, payload); err != nil {
+						fail(err)
+						return
+					}
+				}
+				payloads[i] = payload
+			}
+		}()
+	}
+feed:
+	for _, i := range pending {
+		select {
+		case jobs <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return payloads, nil
+}

@@ -1,0 +1,337 @@
+package fabric
+
+// ProcPool is the subprocess Dispatcher: it launches N shardworker
+// processes, initializes each with the campaign spec, and dispatches
+// shard plans over length-prefixed frames — stdin/stdout pipes by
+// default, a local TCP connection per worker behind the TCP flag. A
+// worker's death mid-shard fails the dispatch with the process's exit
+// status and captured stderr, which the coordinator turns into prompt
+// cancellation of everything outstanding.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// stderrTailLimit bounds how much worker stderr is retained for error
+// reports — enough to show a panic or a failure message, never unbounded.
+const stderrTailLimit = 8 << 10
+
+// tailBuffer keeps the last stderrTailLimit bytes written to it.
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if over := len(t.buf) - stderrTailLimit; over > 0 {
+		t.buf = t.buf[over:]
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return strings.TrimSpace(string(t.buf))
+}
+
+// PoolConfig configures a shardworker pool.
+type PoolConfig struct {
+	// Bin is the shardworker binary to launch.
+	Bin string
+	// Args are extra arguments passed to every worker.
+	Args []string
+	// Env are extra environment variables (the fault-injection hooks in
+	// tests); workers inherit the parent environment plus these.
+	Env []string
+	// Spec is the opaque campaign spec sent in each worker's init frame.
+	Spec []byte
+	// Procs is the number of worker processes (0 → 1).
+	Procs int
+	// TCP switches the transport from stdio pipes to a loopback TCP
+	// connection per worker (workers are launched with -connect addr).
+	TCP bool
+}
+
+// worker is one shardworker process and its protocol channel.
+type worker struct {
+	id       int
+	cmd      *exec.Cmd
+	in       io.WriteCloser
+	out      *bufio.Reader
+	conn     net.Conn // TCP transport; nil in stdio mode
+	stderr   *tailBuffer
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// kill tears the worker down hard: closing the TCP conn (if any) and
+// killing the process unblocks any read the dispatcher is parked on.
+func (w *worker) kill() {
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+}
+
+func (w *worker) wait() error {
+	w.waitOnce.Do(func() { w.waitErr = w.cmd.Wait() })
+	return w.waitErr
+}
+
+// describe renders the worker's fate for an error message: exit status
+// plus the retained stderr tail.
+func (w *worker) describe() string {
+	status := "exited cleanly"
+	if err := w.wait(); err != nil {
+		status = err.Error()
+	}
+	if tail := w.stderr.String(); tail != "" {
+		return fmt.Sprintf("worker %d %s; stderr: %s", w.id, status, tail)
+	}
+	return fmt.Sprintf("worker %d %s", w.id, status)
+}
+
+// ProcPool implements pipeline.Dispatcher over a pool of shardworker
+// processes.
+type ProcPool struct {
+	cfg     PoolConfig
+	workers []*worker
+	free    chan *worker
+	closed  chan struct{}
+	once    sync.Once
+}
+
+var _ pipeline.Dispatcher = (*ProcPool)(nil)
+
+// StartPool launches and initializes the worker processes. It returns
+// only once every worker has acknowledged the campaign spec with a ready
+// frame, so dispatch latency never includes campaign construction.
+func StartPool(ctx context.Context, cfg PoolConfig) (*ProcPool, error) {
+	if cfg.Bin == "" {
+		return nil, fmt.Errorf("fabric: no shardworker binary configured")
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 1
+	}
+	p := &ProcPool{
+		cfg:    cfg,
+		free:   make(chan *worker, cfg.Procs),
+		closed: make(chan struct{}),
+	}
+	var ln net.Listener
+	if cfg.TCP {
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("fabric: tcp listener: %w", err)
+		}
+		defer ln.Close()
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		w, err := p.spawn(ctx, i, ln)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.workers = append(p.workers, w)
+		p.free <- w
+	}
+	return p, nil
+}
+
+// spawn launches worker id and completes its init handshake.
+func (p *ProcPool) spawn(ctx context.Context, id int, ln net.Listener) (*worker, error) {
+	args := append([]string(nil), p.cfg.Args...)
+	if ln != nil {
+		args = append(args, "-connect", ln.Addr().String())
+	}
+	cmd := exec.Command(p.cfg.Bin, args...)
+	cmd.Env = append(os.Environ(), p.cfg.Env...)
+	w := &worker{id: id, cmd: cmd, stderr: &tailBuffer{}}
+	cmd.Stderr = w.stderr
+
+	if ln == nil {
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		w.in, w.out = in, bufio.NewReader(out)
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("fabric: starting worker %d (%s): %w", id, p.cfg.Bin, err)
+		}
+	} else {
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("fabric: starting worker %d (%s): %w", id, p.cfg.Bin, err)
+		}
+		// Workers are spawned and accepted one at a time, so this
+		// connection belongs to this process.
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Now().Add(30 * time.Second))
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			w.kill()
+			w.wait()
+			return nil, fmt.Errorf("fabric: worker %d never connected: %v (%s)", id, err, w.describe())
+		}
+		w.conn = conn
+		w.in = conn
+		w.out = bufio.NewReader(conn)
+	}
+
+	if err := WriteFrame(w.in, Frame{Type: TypeInit, Spec: p.cfg.Spec}); err != nil {
+		w.kill()
+		return nil, fmt.Errorf("fabric: initializing worker %d: %v (%s)", id, err, w.describe())
+	}
+	f, err := p.readFrom(ctx, w)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: worker %d handshake: %w", id, err)
+	}
+	if f.Type == TypeError {
+		w.kill()
+		w.wait()
+		return nil, fmt.Errorf("fabric: worker %d rejected campaign spec: %s", id, f.Err)
+	}
+	if f.Type != TypeReady {
+		w.kill()
+		w.wait()
+		return nil, fmt.Errorf("fabric: worker %d sent %q during handshake, want %q", id, f.Type, TypeReady)
+	}
+	return w, nil
+}
+
+// readFrom reads one frame from a worker under a context watchdog: if
+// ctx is cancelled while the read blocks, the worker is killed (and its
+// conn closed), which unblocks the read immediately.
+func (p *ProcPool) readFrom(ctx context.Context, w *worker) (Frame, error) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.kill()
+		case <-p.closed:
+			w.kill()
+		case <-done:
+		}
+	}()
+	f, err := ReadFrame(w.out)
+	close(done)
+	if err != nil {
+		w.kill()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Frame{}, ctxErr
+		}
+		return Frame{}, fmt.Errorf("%s: %v", w.describe(), err)
+	}
+	return f, nil
+}
+
+// Dispatch sends one plan to an idle worker and returns its canonical
+// result payload. A worker that dies or misbehaves mid-shard is removed
+// from the pool and the dispatch fails with its exit status and stderr.
+func (p *ProcPool) Dispatch(ctx context.Context, plan pipeline.Plan) ([]byte, error) {
+	var w *worker
+	select {
+	case w = <-p.free:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.closed:
+		return nil, fmt.Errorf("fabric: pool closed")
+	}
+	payload, err := p.dispatchTo(ctx, w, plan)
+	if err != nil {
+		// The worker is in an unknown protocol state (or dead): never
+		// return it to the pool.
+		w.kill()
+		w.wait()
+		return nil, err
+	}
+	select {
+	case p.free <- w:
+	case <-p.closed:
+		w.kill()
+	}
+	return payload, nil
+}
+
+func (p *ProcPool) dispatchTo(ctx context.Context, w *worker, plan pipeline.Plan) ([]byte, error) {
+	if err := WriteFrame(w.in, Frame{Type: TypeShard, Plan: &plan}); err != nil {
+		w.kill()
+		return nil, fmt.Errorf("fabric: sending shard %d: %v (%s)", plan.Index, err, w.describe())
+	}
+	f, err := p.readFrom(ctx, w)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d: %w", plan.Index, err)
+	}
+	switch f.Type {
+	case TypeResult:
+		if f.Index != plan.Index {
+			return nil, fmt.Errorf("fabric: worker %d answered shard %d with result for shard %d", w.id, plan.Index, f.Index)
+		}
+		if got := pipeline.PayloadDigest(f.Payload); got != f.Digest {
+			return nil, fmt.Errorf("fabric: shard %d payload digest mismatch: %s != %s", plan.Index, got, f.Digest)
+		}
+		return f.Payload, nil
+	case TypeError:
+		return nil, fmt.Errorf("fabric: shard %d failed on worker %d: %s", plan.Index, w.id, f.Err)
+	default:
+		return nil, fmt.Errorf("fabric: worker %d sent unexpected %q frame for shard %d", w.id, f.Type, plan.Index)
+	}
+}
+
+// Procs reports the pool's process count.
+func (p *ProcPool) Procs() int { return p.cfg.Procs }
+
+// Close shuts the pool down: every worker gets a shutdown frame and a
+// grace period, then anything still alive is killed.
+func (p *ProcPool) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			WriteFrame(w.in, Frame{Type: TypeShutdown})
+			if w.conn == nil {
+				w.in.Close()
+			}
+			done := make(chan struct{})
+			go func() {
+				w.wait()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				w.kill()
+				<-done
+			}
+			if w.conn != nil {
+				w.conn.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}

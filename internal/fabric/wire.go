@@ -1,0 +1,127 @@
+// Package fabric is the distributed audit fabric: the coordinator,
+// worker protocol and completion journal that distribute a campaign's
+// shard plans across worker processes while preserving the repo's
+// foundational guarantee — processes=1 ≡ processes=N, byte for byte.
+//
+// # Architecture
+//
+//	coordinator ── plans ──► ProcPool ── frames ──► cmd/shardworker × N
+//	     ▲                                               │
+//	     └──── payloads (merged by shard id) ◄───────────┘
+//	     └──── journal (append-only JSONL, resumable)
+//
+// The unit of distribution is the pipeline's wire Plan: (class, start,
+// count, seed). A worker process is initialized once with an opaque
+// campaign spec (it rebuilds the victims, pools and evaluator from seeds
+// alone), then executes plans on demand, returning each shard's
+// canonically-encoded profiles. The coordinator merges results keyed by
+// shard id — never arrival order — journals completions so a crashed
+// campaign resumes without re-measuring finished shards, and on any
+// worker failure cancels the outstanding dispatches and surfaces the
+// worker's stderr.
+//
+// Transport is length-prefixed JSON frames over stdin/stdout pipes (the
+// default) or a local TCP connection (the -connect variant), chosen by
+// the pool configuration.
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/pipeline"
+)
+
+// ProtocolVersion is the fabric wire-protocol version. Every frame
+// carries it; a mismatch anywhere fails the campaign loudly — merging
+// bytes produced by a different protocol would silently corrupt results.
+const ProtocolVersion = 1
+
+// maxFrame bounds a single frame; a corrupt length prefix must not make
+// a reader attempt a multi-gigabyte allocation.
+const maxFrame = 64 << 20
+
+// Frame types.
+const (
+	// TypeInit carries the opaque campaign spec, coordinator → worker,
+	// exactly once per worker at startup.
+	TypeInit = "init"
+	// TypeReady acknowledges a successful init, worker → coordinator.
+	TypeReady = "ready"
+	// TypeShard carries one wire plan, coordinator → worker.
+	TypeShard = "shard"
+	// TypeResult carries one shard's encoded profiles, worker → coordinator.
+	TypeResult = "result"
+	// TypeError reports a fatal worker-side failure, worker → coordinator.
+	TypeError = "error"
+	// TypeShutdown asks the worker to exit cleanly, coordinator → worker.
+	TypeShutdown = "shutdown"
+)
+
+// Frame is the single message envelope of the worker protocol.
+type Frame struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	// Spec is the opaque campaign spec (init frames).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Plan is the dispatched shard (shard frames).
+	Plan *pipeline.Plan `json:"plan,omitempty"`
+	// Index, Payload and Digest describe a finished shard (result
+	// frames): the plan index, the canonical pipeline.EncodeProfiles
+	// payload and its pipeline.PayloadDigest.
+	Index   int    `json:"index,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+	Digest  string `json:"digest,omitempty"`
+	// Err is the failure description (error frames).
+	Err string `json:"err,omitempty"`
+}
+
+// WriteFrame serializes one frame as a 4-byte big-endian length prefix
+// followed by the frame's JSON encoding.
+func WriteFrame(w io.Writer, f Frame) error {
+	f.V = ProtocolVersion
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("fabric: encoding %s frame: %w", f.Type, err)
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("fabric: %s frame of %d bytes exceeds the %d-byte limit", f.Type, len(data), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("fabric: writing %s frame: %w", f.Type, err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("fabric: writing %s frame: %w", f.Type, err)
+	}
+	return nil
+}
+
+// ReadFrame reads and validates one frame. The protocol version is
+// checked here, at the lowest layer, so no higher layer can ever act on
+// a frame from an incompatible peer.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF propagates untouched: it means "peer gone"
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return Frame{}, fmt.Errorf("fabric: frame length %d outside (0, %d]", n, maxFrame)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return Frame{}, fmt.Errorf("fabric: truncated frame: %w", err)
+	}
+	var f Frame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Frame{}, fmt.Errorf("fabric: corrupt frame: %w", err)
+	}
+	if f.V != ProtocolVersion {
+		return Frame{}, fmt.Errorf("fabric: protocol version %d, want %d — coordinator and shardworker binaries are out of sync", f.V, ProtocolVersion)
+	}
+	return f, nil
+}

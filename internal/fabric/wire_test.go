@@ -1,0 +1,96 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TypeInit, Spec: json.RawMessage(`{"stage":"report"}`)},
+		{Type: TypeReady},
+		{Type: TypeShard, Plan: &pipeline.Plan{Index: 3, Class: 1, Start: 6, Count: 6, Seed: -42}},
+		{Type: TypeResult, Index: 3, Payload: []byte(`[{"x":1}]`), Digest: "abc"},
+		{Type: TypeError, Err: "boom"},
+		{Type: TypeShutdown},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.Err != want.Err || got.Index != want.Index ||
+			got.Digest != want.Digest || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame round trip: got %+v want %+v", got, want)
+		}
+		if want.Plan != nil && (got.Plan == nil || *got.Plan != *want.Plan) {
+			t.Fatalf("plan round trip: got %+v want %+v", got.Plan, want.Plan)
+		}
+		if got.V != ProtocolVersion {
+			t.Fatalf("frame version %d, want %d", got.V, ProtocolVersion)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("drained stream returned %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsVersionMismatch(t *testing.T) {
+	// Hand-build a frame claiming a future protocol version; WriteFrame
+	// cannot produce one, which is the point.
+	data, err := json.Marshal(Frame{V: ProtocolVersion + 1, Type: TypeReady})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	buf.Write(hdr[:])
+	buf.Write(data)
+	_, err = ReadFrame(&buf)
+	if err == nil {
+		t.Fatal("version-mismatched frame accepted silently")
+	}
+	if !strings.Contains(err.Error(), "protocol version") {
+		t.Fatalf("mismatch error does not name the protocol: %v", err)
+	}
+}
+
+func TestReadFrameRejectsCorruptStream(t *testing.T) {
+	// Truncated body.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Absurd length prefix must not trigger a giant allocation.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 1<<31)
+	buf.Write(hdr[:])
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	// Valid length, invalid JSON.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 4)
+	buf.Write(hdr[:])
+	buf.WriteString("{{{{")
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("corrupt JSON frame accepted")
+	}
+}

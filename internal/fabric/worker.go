@@ -1,0 +1,119 @@
+package fabric
+
+// The worker side of the protocol: a shardworker process reads frames
+// from its coordinator, builds the campaign runner from the init spec,
+// and answers each shard frame with a result frame. Serve is transport-
+// agnostic — cmd/shardworker hands it either its stdio pipes or a TCP
+// connection.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/hpc"
+	"repro/internal/pipeline"
+)
+
+// Runner executes shard plans for one campaign. *pipeline.Executor
+// satisfies it; repro's worker glue builds one from a campaign spec.
+type Runner interface {
+	Execute(ctx context.Context, plan pipeline.Plan) ([]hpc.Profile, error)
+}
+
+// BuildRunner constructs the campaign runner from the opaque spec in the
+// init frame. It runs once per worker process.
+type BuildRunner func(ctx context.Context, spec []byte) (Runner, error)
+
+// ServeOptions carries test hooks into the serve loop. Production
+// workers pass nil; the fault-injection suite uses the hooks to kill or
+// fail a worker at precise protocol points.
+type ServeOptions struct {
+	// BeforeExecute runs after a shard frame is read, before the plan
+	// executes. Returning an error fails the worker as if execution did.
+	BeforeExecute func(plan pipeline.Plan) error
+	// AfterResult runs after a result frame is written, with the count of
+	// results written so far. Returning an error fails the worker.
+	AfterResult func(sent int) error
+}
+
+// Serve runs the worker protocol until the coordinator sends shutdown or
+// the transport closes. Shard execution errors are reported with an
+// error frame and also returned, so the process exits non-zero and the
+// coordinator sees the failure on both channels.
+func Serve(ctx context.Context, r io.Reader, w io.Writer, build BuildRunner, opts *ServeOptions) error {
+	if opts == nil {
+		opts = &ServeOptions{}
+	}
+	init, err := ReadFrame(r)
+	if err != nil {
+		return fmt.Errorf("fabric: reading init frame: %w", err)
+	}
+	if init.Type != TypeInit {
+		return fmt.Errorf("fabric: first frame is %q, want %q", init.Type, TypeInit)
+	}
+	runner, err := build(ctx, init.Spec)
+	if err != nil {
+		werr := fmt.Errorf("fabric: building campaign runner: %w", err)
+		WriteFrame(w, Frame{Type: TypeError, Err: werr.Error()})
+		return werr
+	}
+	if err := WriteFrame(w, Frame{Type: TypeReady}); err != nil {
+		return err
+	}
+	sent := 0
+	for {
+		f, err := ReadFrame(r)
+		if err == io.EOF {
+			return nil // coordinator closed the pipe: clean shutdown
+		}
+		if err != nil {
+			return fmt.Errorf("fabric: reading frame: %w", err)
+		}
+		switch f.Type {
+		case TypeShutdown:
+			return nil
+		case TypeShard:
+			if f.Plan == nil {
+				return failShard(w, fmt.Errorf("fabric: shard frame without a plan"))
+			}
+			if opts.BeforeExecute != nil {
+				if err := opts.BeforeExecute(*f.Plan); err != nil {
+					return failShard(w, fmt.Errorf("fabric: shard %d: %w", f.Plan.Index, err))
+				}
+			}
+			profs, err := runner.Execute(ctx, *f.Plan)
+			if err != nil {
+				return failShard(w, fmt.Errorf("fabric: shard %d: %w", f.Plan.Index, err))
+			}
+			payload, err := pipeline.EncodeProfiles(profs)
+			if err != nil {
+				return failShard(w, fmt.Errorf("fabric: shard %d: %w", f.Plan.Index, err))
+			}
+			res := Frame{
+				Type:    TypeResult,
+				Index:   f.Plan.Index,
+				Payload: payload,
+				Digest:  pipeline.PayloadDigest(payload),
+			}
+			if err := WriteFrame(w, res); err != nil {
+				return err
+			}
+			sent++
+			if opts.AfterResult != nil {
+				if err := opts.AfterResult(sent); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("fabric: unexpected %q frame", f.Type)
+		}
+	}
+}
+
+// failShard reports a shard failure on the wire and returns it; the
+// write error, if any, is secondary to the execution error.
+func failShard(w io.Writer, err error) error {
+	WriteFrame(w, Frame{Type: TypeError, Err: err.Error()})
+	return err
+}

@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/hpc"
+	"repro/internal/march"
+	"repro/internal/pipeline"
+)
+
+// echoRunner returns one synthetic profile per requested run, derived
+// from the plan alone — a deterministic stand-in for real measurement.
+type echoRunner struct{ spec string }
+
+func (r echoRunner) Execute(_ context.Context, plan pipeline.Plan) ([]hpc.Profile, error) {
+	if plan.Class < 0 {
+		return nil, fmt.Errorf("bad class %d", plan.Class)
+	}
+	ev := march.ExtendedEvents()[0]
+	profs := make([]hpc.Profile, plan.Count)
+	for i := range profs {
+		profs[i] = hpc.Profile{ev: float64(plan.Start+i) + float64(plan.Seed%97)}
+	}
+	return profs, nil
+}
+
+// startWorker wires a Serve loop to in-memory pipes and returns the
+// coordinator-side endpoints plus the loop's exit channel.
+func startWorker(t *testing.T, opts *ServeOptions) (io.Writer, io.Reader, chan error) {
+	t.Helper()
+	toWorker, coordOut := io.Pipe()
+	workerOut, fromWorker := io.Pipe()
+	errc := make(chan error, 1)
+	build := func(_ context.Context, spec []byte) (Runner, error) {
+		var s struct {
+			Fail bool `json:"fail"`
+		}
+		if err := json.Unmarshal(spec, &s); err != nil {
+			return nil, err
+		}
+		if s.Fail {
+			return nil, errors.New("spec says fail")
+		}
+		return echoRunner{spec: string(spec)}, nil
+	}
+	go func() {
+		errc <- Serve(context.Background(), toWorker, fromWorker, build, opts)
+		fromWorker.Close()
+	}()
+	return coordOut, workerOut, errc
+}
+
+func TestWorkerServeShardLifecycle(t *testing.T) {
+	in, out, errc := startWorker(t, nil)
+	if err := WriteFrame(in, Frame{Type: TypeInit, Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(out)
+	if err != nil || f.Type != TypeReady {
+		t.Fatalf("handshake: %+v, %v", f, err)
+	}
+	plan := pipeline.Plan{Index: 4, Class: 2, Start: 10, Count: 3, Seed: 123}
+	if err := WriteFrame(in, Frame{Type: TypeShard, Plan: &plan}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReadFrame(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Type != TypeResult || res.Index != plan.Index {
+		t.Fatalf("result frame: %+v", res)
+	}
+	if got := pipeline.PayloadDigest(res.Payload); got != res.Digest {
+		t.Fatalf("digest mismatch: %s != %s", got, res.Digest)
+	}
+	profs, err := pipeline.DecodeProfiles(res.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != plan.Count {
+		t.Fatalf("payload has %d profiles, want %d", len(profs), plan.Count)
+	}
+	// Duplicate delivery of the same shard must reproduce identical bytes.
+	if err := WriteFrame(in, Frame{Type: TypeShard, Plan: &plan}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ReadFrame(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res2.Payload) != string(res.Payload) {
+		t.Fatal("duplicate shard delivery produced different bytes")
+	}
+	if err := WriteFrame(in, Frame{Type: TypeShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("serve exit: %v", err)
+	}
+}
+
+func TestWorkerServeReportsExecutionError(t *testing.T) {
+	in, out, errc := startWorker(t, nil)
+	WriteFrame(in, Frame{Type: TypeInit, Spec: json.RawMessage(`{}`)})
+	if f, err := ReadFrame(out); err != nil || f.Type != TypeReady {
+		t.Fatalf("handshake: %+v, %v", f, err)
+	}
+	plan := pipeline.Plan{Index: 0, Class: -1, Start: 0, Count: 1, Seed: 1}
+	WriteFrame(in, Frame{Type: TypeShard, Plan: &plan})
+	f, err := ReadFrame(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeError || !strings.Contains(f.Err, "bad class") {
+		t.Fatalf("error frame: %+v", f)
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("serve exited clean after a shard failure")
+	}
+}
+
+func TestWorkerServeRejectsBadSpec(t *testing.T) {
+	in, out, errc := startWorker(t, nil)
+	WriteFrame(in, Frame{Type: TypeInit, Spec: json.RawMessage(`{"fail":true}`)})
+	f, err := ReadFrame(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeError || !strings.Contains(f.Err, "spec says fail") {
+		t.Fatalf("error frame: %+v", f)
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("serve exited clean after a spec failure")
+	}
+}
+
+func TestWorkerServeRequiresInitFirst(t *testing.T) {
+	in, _, errc := startWorker(t, nil)
+	plan := pipeline.Plan{Index: 0, Class: 0, Start: 0, Count: 1, Seed: 1}
+	WriteFrame(in, Frame{Type: TypeShard, Plan: &plan})
+	err := <-errc
+	if err == nil || !strings.Contains(err.Error(), "want \"init\"") {
+		t.Fatalf("serve accepted a shard before init: %v", err)
+	}
+}
+
+func TestWorkerServeAfterResultHook(t *testing.T) {
+	opts := &ServeOptions{AfterResult: func(sent int) error {
+		if sent >= 1 {
+			return errors.New("injected post-result failure")
+		}
+		return nil
+	}}
+	in, out, errc := startWorker(t, opts)
+	WriteFrame(in, Frame{Type: TypeInit, Spec: json.RawMessage(`{}`)})
+	if f, err := ReadFrame(out); err != nil || f.Type != TypeReady {
+		t.Fatalf("handshake: %+v, %v", f, err)
+	}
+	plan := pipeline.Plan{Index: 0, Class: 0, Start: 0, Count: 1, Seed: 1}
+	WriteFrame(in, Frame{Type: TypeShard, Plan: &plan})
+	if f, err := ReadFrame(out); err != nil || f.Type != TypeResult {
+		t.Fatalf("first result: %+v, %v", f, err)
+	}
+	err := <-errc
+	if err == nil || !strings.Contains(err.Error(), "injected post-result failure") {
+		t.Fatalf("AfterResult error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+package pipeline
+
+// Wire encoding for the distributed audit fabric: shard plans and shard
+// results serialized canonically, so a coordinator can dispatch the
+// already-self-contained shard units to worker *processes* and merge the
+// returned bytes with the same determinism guarantee the in-process
+// pipeline gives. Two properties carry the whole design:
+//
+//   - a Plan is pool-free: (class, start, count, seed) plus the campaign
+//     configuration the worker was initialized with fully determine the
+//     shard's observations, so no image data ever crosses the wire;
+//   - profiles are encoded canonically (JSON objects keyed by event name —
+//     encoding/json sorts map keys — and float64 values printed in Go's
+//     shortest round-trip form), so encode∘decode∘encode is the identity
+//     on bytes and a result digest is well-defined.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hpc"
+	"repro/internal/march"
+	"repro/internal/tensor"
+)
+
+// Plan is the wire form of one shard: the self-contained unit of
+// distribution. It omits the image pool — workers rebuild pools from the
+// campaign spec they were initialized with — and carries everything else
+// core.Shard does, so Plan(shard).Shard(pool) round-trips exactly.
+type Plan struct {
+	// Index is the shard's position in the deterministic plan order; the
+	// coordinator merges results by it, never by arrival order.
+	Index int `json:"index"`
+	// Class is the category label whose runs this shard measures.
+	Class int `json:"class"`
+	// Start is the first measured run index within the class.
+	Start int `json:"start"`
+	// Count is the number of measured runs.
+	Count int `json:"count"`
+	// Seed is the shard's derived RNG seed; the worker builds a fresh
+	// target from it, so observations are identical in any process.
+	Seed int64 `json:"seed"`
+}
+
+// PlanOf strips a planned shard to its wire form.
+func PlanOf(sh core.Shard) Plan {
+	return Plan{Index: sh.Index, Class: sh.Class, Start: sh.Start, Count: sh.Count, Seed: sh.Seed}
+}
+
+// Shard rehydrates the plan with a class pool into an executable shard.
+func (p Plan) Shard(pool []*tensor.Tensor) core.Shard {
+	return core.Shard{Index: p.Index, Class: p.Class, Pool: pool, Start: p.Start, Count: p.Count, Seed: p.Seed}
+}
+
+// EncodeProfiles serializes per-run profiles into the canonical wire
+// payload: a JSON array of objects keyed by event name. The encoding is
+// byte-deterministic (sorted keys, shortest round-trip floats), so equal
+// observations always produce equal payloads and digests.
+func EncodeProfiles(profs []hpc.Profile) ([]byte, error) {
+	out := make([]map[string]float64, len(profs))
+	for i, p := range profs {
+		m := make(map[string]float64, len(p))
+		for e, v := range p {
+			m[e.String()] = v
+		}
+		out[i] = m
+	}
+	return json.Marshal(out)
+}
+
+// DecodeProfiles parses a wire payload back into per-run profiles.
+// Unknown event names fail loudly: silently dropping a counter would
+// corrupt the merged feature vectors.
+func DecodeProfiles(payload []byte) ([]hpc.Profile, error) {
+	var raw []map[string]float64
+	if err := json.Unmarshal(payload, &raw); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding shard payload: %w", err)
+	}
+	profs := make([]hpc.Profile, len(raw))
+	for i, m := range raw {
+		p := make(hpc.Profile, len(m))
+		for name, v := range m {
+			e, err := march.ParseEvent(name)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: shard payload run %d: %w", i, err)
+			}
+			p[e] = v
+		}
+		profs[i] = p
+	}
+	return profs, nil
+}
+
+// PayloadDigest is the canonical digest of an encoded shard result
+// (sha256 hex) — what the completion journal records and verifies.
+func PayloadDigest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// WirePlans plans the campaign's shards (exactly as Collect and
+// CollectProfilesByClass do) and returns their wire form, in plan order.
+func (p *Pipeline) WirePlans(perClass map[int][]*tensor.Tensor) ([]Plan, error) {
+	shards, err := p.ev.PlanShards(perClass, p.cfg.RootSeed, p.cfg.ShardRuns)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]Plan, len(shards))
+	for i, sh := range shards {
+		plans[i] = PlanOf(sh)
+	}
+	return plans, nil
+}
+
+// MergeEncoded decodes per-shard result payloads (payloads[i] belongs to
+// plans[i]) and merges them into the labelled per-run profiles,
+// byClass[class][run] — the exact merge CollectProfilesByClass performs,
+// keyed by the plan's (class, start) placement and therefore independent
+// of completion order.
+func (p *Pipeline) MergeEncoded(plans []Plan, payloads [][]byte) (map[int][]hpc.Profile, error) {
+	if len(plans) != len(payloads) {
+		return nil, fmt.Errorf("pipeline: %d plans but %d payloads", len(plans), len(payloads))
+	}
+	runs := p.ev.Config().RunsPerClass
+	byClass := map[int][]hpc.Profile{}
+	for i, pl := range plans {
+		if payloads[i] == nil {
+			return nil, fmt.Errorf("pipeline: missing payload for shard %d", pl.Index)
+		}
+		profs, err := DecodeProfiles(payloads[i])
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: shard %d: %w", pl.Index, err)
+		}
+		if len(profs) != pl.Count {
+			return nil, fmt.Errorf("pipeline: shard %d has %d profiles, want %d", pl.Index, len(profs), pl.Count)
+		}
+		if pl.Start+pl.Count > runs {
+			return nil, fmt.Errorf("pipeline: shard %d runs [%d,%d) exceed %d runs per class",
+				pl.Index, pl.Start, pl.Start+pl.Count, runs)
+		}
+		if byClass[pl.Class] == nil {
+			byClass[pl.Class] = make([]hpc.Profile, runs)
+		}
+		copy(byClass[pl.Class][pl.Start:pl.Start+pl.Count], profs)
+	}
+	return byClass, nil
+}
+
+// ReportFromProfiles transposes labelled per-run profiles into per-event
+// distributions and runs the batched test stage — the report-building
+// tail of Evaluate for campaigns whose collection ran on the distributed
+// fabric. The transposition is sample-exact (d.Samples[e][class][run] =
+// profile[run][e], the same values CollectShard writes directly), so a
+// fabric campaign's report is byte-identical to the in-process one.
+func (p *Pipeline) ReportFromProfiles(ctx context.Context, name string, byClass map[int][]hpc.Profile) (*core.Report, error) {
+	cfg := p.ev.Config()
+	classes := make([]int, 0, len(byClass))
+	for cls := range byClass {
+		classes = append(classes, cls)
+	}
+	sort.Ints(classes)
+	d := &core.Distributions{
+		Events:  append([]march.Event(nil), cfg.Events...),
+		Classes: classes,
+		Samples: map[march.Event]map[int][]float64{},
+	}
+	for _, e := range cfg.Events {
+		d.Samples[e] = map[int][]float64{}
+		for _, cls := range classes {
+			d.Samples[e][cls] = make([]float64, cfg.RunsPerClass)
+		}
+	}
+	for _, cls := range classes {
+		profs := byClass[cls]
+		if len(profs) != cfg.RunsPerClass {
+			return nil, fmt.Errorf("pipeline: class %d has %d profiles, want %d", cls, len(profs), cfg.RunsPerClass)
+		}
+		for r, prof := range profs {
+			if prof == nil {
+				return nil, fmt.Errorf("pipeline: class %d run %d missing", cls, r)
+			}
+			for _, e := range cfg.Events {
+				d.Samples[e][cls][r] = prof.Get(e)
+			}
+		}
+	}
+	tests, err := p.Test(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return p.ev.BuildReport(name, d, tests), nil
+}

@@ -426,6 +426,16 @@ func bestKernel(h, w int, area float64) int {
 // class-aware factory; sessions of the same campaign observe the same
 // victims with disjoint observation seeds.
 func (c *Campaign) Collect(ctx context.Context, events []march.Event, session int) (map[int][]hpc.Profile, error) {
+	p, err := c.sessionPipeline(events, session)
+	if err != nil {
+		return nil, err
+	}
+	return p.CollectProfilesByClass(ctx, c.factory(), c.Pools())
+}
+
+// sessionPipeline builds one collection session's pipeline: session-
+// derived root seed over the campaign's run budget.
+func (c *Campaign) sessionPipeline(events []march.Event, session int) (*pipeline.Pipeline, error) {
 	if len(events) == 0 || len(events) > hpc.DefaultCounters {
 		return nil, fmt.Errorf("topo: a session counts 1..%d events, got %d (split wide sets into register groups)",
 			hpc.DefaultCounters, len(events))
@@ -437,19 +447,40 @@ func (c *Campaign) Collect(ctx context.Context, events []march.Event, session in
 	if err != nil {
 		return nil, err
 	}
-	p, err := pipeline.New(ev, pipeline.Config{
+	return pipeline.New(ev, pipeline.Config{
 		Workers:   c.cfg.Workers,
 		RootSeed:  core.DeriveSeed(c.cfg.Seed, session, seedDomainPipeline),
 		ShardRuns: c.cfg.ShardRuns,
 	})
-	if err != nil {
-		return nil, err
-	}
+}
+
+// Pools returns the per-victim input pools of a collection session:
+// every victim classifies the shared campaign pool.
+func (c *Campaign) Pools() map[int][]*tensor.Tensor {
 	perClass := make(map[int][]*tensor.Tensor, len(c.holdNets))
 	for id := range c.holdNets {
 		perClass[id] = c.cfg.Inputs
 	}
-	return p.CollectProfilesByClass(ctx, c.factory(), perClass)
+	return perClass
+}
+
+// SessionExecutor builds one collection session's pipeline and plan
+// executor — the two halves the distributed fabric splits across
+// processes: the coordinator plans shards and merges payloads with the
+// pipeline, and a shardworker process executes plans with the executor.
+// Both sides rebuild identical state from the campaign configuration
+// alone, which is what keeps fabric campaigns byte-identical to
+// in-process ones.
+func (c *Campaign) SessionExecutor(events []march.Event, session int) (*pipeline.Pipeline, *pipeline.Executor, error) {
+	p, err := c.sessionPipeline(events, session)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec, err := p.Executor(c.factory(), c.Pools())
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, exec, nil
 }
 
 // factory builds the class-aware target factory: shard workers deploy

@@ -344,6 +344,16 @@ type EvalConfig struct {
 	// ShardRuns bounds measured runs per shard in the pipeline; 0 uses
 	// pipeline.DefaultShardRuns. Ignored on the legacy path.
 	ShardRuns int
+	// Processes distributes shard execution over that many shardworker OS
+	// processes through the distributed audit fabric (internal/fabric);
+	// 0 keeps execution in-process. The shard plan, derived seeds and
+	// merge are identical either way, so reports are byte-for-byte the
+	// same at any process count. Requires a shardworker binary (see
+	// Fabric).
+	Processes int
+	// Fabric configures the fabric (worker binary, completion journal,
+	// transport) when Processes ≥ 1.
+	Fabric FabricConfig
 }
 
 // Evaluate runs the paper's Evaluator against the scenario.
@@ -353,8 +363,10 @@ func (s *Scenario) Evaluate(cfg EvalConfig) (*Report, error) {
 
 // EvaluateCtx is Evaluate with cancellation. With cfg.Workers ≥ 1 the
 // campaign runs on the concurrent sharded pipeline (fresh per-shard
-// engines, deterministic per-shard seeds); with Workers == 0 it runs
-// sequentially on the scenario's deployed target.
+// engines, deterministic per-shard seeds); with cfg.Processes ≥ 1 the
+// same shard plan is executed by shardworker OS processes through the
+// distributed audit fabric; with both zero it runs sequentially on the
+// scenario's deployed target.
 func (s *Scenario) EvaluateCtx(ctx context.Context, cfg EvalConfig) (*Report, error) {
 	if len(cfg.Classes) == 0 {
 		cfg.Classes = PaperClasses()
@@ -375,7 +387,7 @@ func (s *Scenario) EvaluateCtx(ctx context.Context, cfg EvalConfig) (*Report, er
 		return nil, err
 	}
 	name := fmt.Sprintf("%s/%s", s.Config.Dataset, s.Config.Defense)
-	if cfg.Workers == 0 {
+	if cfg.Workers == 0 && cfg.Processes == 0 {
 		d, err := ev.CollectCtx(ctx, s.Target, pools)
 		if err != nil {
 			return nil, err
@@ -397,6 +409,23 @@ func (s *Scenario) EvaluateCtx(ctx context.Context, cfg EvalConfig) (*Report, er
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Processes > 0 {
+		spec := WorkerSpec{
+			Stage:        StageReport,
+			Scenario:     s.spec(),
+			Level:        s.Config.Defense.String(),
+			Events:       eventNames(ev.Config().Events),
+			Classes:      cfg.Classes,
+			RunsPerClass: cfg.RunsPerClass,
+			RootSeed:     seed,
+			ShardRuns:    cfg.ShardRuns,
+		}
+		byClass, err := collectFabric(ctx, p, pools, spec, cfg.Processes, cfg.Fabric)
+		if err != nil {
+			return nil, err
+		}
+		return p.ReportFromProfiles(ctx, name, byClass)
 	}
 	return p.Evaluate(ctx, name, s.TargetFactory(), pools)
 }

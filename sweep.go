@@ -39,6 +39,13 @@ type SweepConfig struct {
 	Alpha     float64
 	// Workers is the per-cell pipeline worker count; 0 → GOMAXPROCS.
 	Workers int
+	// Processes distributes each cell's shard execution over that many
+	// shardworker OS processes through the distributed audit fabric;
+	// 0 keeps execution in-process. Cell results are byte-identical
+	// either way.
+	Processes int
+	// Fabric configures the fabric when Processes ≥ 1.
+	Fabric FabricConfig
 	// CellParallel bounds how many grid cells evaluate concurrently;
 	// 0 → 2. Cell results are independent of this.
 	CellParallel int
@@ -239,6 +246,8 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 				RunsPerClass: cl.runs,
 				Alpha:        cfg.Alpha,
 				Workers:      cfg.Workers,
+				Processes:    cfg.Processes,
+				Fabric:       cfg.Fabric,
 				Seed:         core.DeriveSeed(cfg.Seed, cl.index, 0),
 			})
 			if err != nil {
@@ -254,6 +263,8 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					ProfileRuns: cl.runs,
 					AttackRuns:  atkRuns,
 					Workers:     cfg.Workers,
+					Processes:   cfg.Processes,
+					Fabric:      cfg.Fabric,
 					// Domain 3 keeps attack-stage observations disjoint from
 					// the cell's evaluation campaign (domain 0 above).
 					Seed: core.DeriveSeed(cfg.Seed, cl.index, 3),
@@ -271,6 +282,8 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					ProfileRuns: cl.runs,
 					AttackRuns:  archRuns,
 					Workers:     cfg.Workers,
+					Processes:   cfg.Processes,
+					Fabric:      cfg.Fabric,
 					// Domain 4 keeps archid observations disjoint from the
 					// cell's evaluation (0) and attack (3) campaigns.
 					Seed: core.DeriveSeed(cfg.Seed, cl.index, 4),
@@ -283,10 +296,12 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 			var tp *TopoResult
 			if cfg.Topo {
 				tp, err = scenarios[cl.dataset].TopoGrouped(ctx, cl.defense, TopoConfig{
-					Events:  cl.events,
-					Holdout: cfg.TopoHoldout,
-					Runs:    derivedHoldout(0, cl.runs),
-					Workers: cfg.Workers,
+					Events:    cl.events,
+					Holdout:   cfg.TopoHoldout,
+					Runs:      derivedHoldout(0, cl.runs),
+					Workers:   cfg.Workers,
+					Processes: cfg.Processes,
+					Fabric:    cfg.Fabric,
 					// Domain 5 keeps topo observations disjoint from the
 					// cell's evaluation (0), attack (3) and archid (4)
 					// campaigns.
@@ -371,9 +386,32 @@ func (s *Scenario) EvaluateGrouped(ctx context.Context, level DefenseLevel, cfg 
 		if err != nil {
 			return nil, err
 		}
-		rep, err := p.Evaluate(ctx, name, factory, pools)
-		if err != nil {
-			return nil, err
+		var rep *core.Report
+		if cfg.Processes > 0 {
+			spec := WorkerSpec{
+				Stage:        StageReport,
+				Scenario:     s.spec(),
+				Level:        level.String(),
+				Events:       eventNames(events[lo:hi]),
+				Session:      g,
+				Classes:      cfg.Classes,
+				RunsPerClass: cfg.RunsPerClass,
+				RootSeed:     core.DeriveSeed(seed, g, 1),
+				ShardRuns:    cfg.ShardRuns,
+			}
+			byClass, err := collectFabric(ctx, p, pools, spec, cfg.Processes, cfg.Fabric)
+			if err != nil {
+				return nil, err
+			}
+			rep, err = p.ReportFromProfiles(ctx, name, byClass)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			rep, err = p.Evaluate(ctx, name, factory, pools)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if merged == nil {
 			merged = rep

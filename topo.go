@@ -51,6 +51,12 @@ type TopoConfig struct {
 	// MaxInputs caps the shared input pool taken from the scenario's test
 	// split; 0 uses every test image.
 	MaxInputs int
+	// Processes distributes shard execution over that many shardworker OS
+	// processes through the distributed audit fabric; 0 keeps execution
+	// in-process. Results are byte-identical either way.
+	Processes int
+	// Fabric configures the fabric when Processes ≥ 1.
+	Fabric FabricConfig
 }
 
 // Topo runs the topology-recovery stage against held-out random victims
@@ -110,9 +116,36 @@ func (s *Scenario) TopoGrouped(ctx context.Context, level DefenseLevel, cfg Topo
 		if hi > len(events) {
 			hi = len(events)
 		}
-		part, err := camp.Collect(ctx, events[lo:hi], g)
-		if err != nil {
-			return nil, err
+		var part map[int][]hpc.Profile
+		if cfg.Processes > 0 {
+			p, _, err := camp.SessionExecutor(events[lo:hi], g)
+			if err != nil {
+				return nil, err
+			}
+			spec := WorkerSpec{
+				Stage:     StageTopo,
+				Scenario:  s.spec(),
+				Level:     level.String(),
+				Events:    eventNames(events[lo:hi]),
+				Session:   g,
+				Seed:      seed,
+				MaxInputs: cfg.MaxInputs,
+				TrainZoo:  cfg.TrainZoo,
+				Holdout:   cfg.Holdout,
+				Runs:      cfg.Runs,
+				Quantum:   cfg.Quantum,
+				ShardRuns: cfg.ShardRuns,
+			}
+			part, err = collectFabric(ctx, p, camp.Pools(), spec, cfg.Processes, cfg.Fabric)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			part, err = camp.Collect(ctx, events[lo:hi], g)
+			if err != nil {
+				return nil, err
+			}
 		}
 		joinProfiles(byVictim, part)
 	}
