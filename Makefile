@@ -1,11 +1,12 @@
-# Developer/CI entry points. `make ci` is the gate: vet, build, the full
-# test suite under the race detector, the allocation gate for the
-# simulation hot paths (run without -race, which would perturb the
-# counts), a short hot-path benchmark smoke so ns/op regressions fail
-# fast, and a one-iteration benchmark pass (which also regenerates the
-# paper's tables and figures once and exercises the attack and
-# architecture-fingerprinting and topology-recovery stages at both
-# worker counts via BenchmarkAttackStage, BenchmarkArchIDStage and
+# Developer/CI entry points. `make ci` is the gate: vet (with the
+# detlint analyzers wired in as a vettool), build, the determinism lint
+# sweep, the full test suite under the race detector, the allocation
+# gate for the simulation hot paths (run without -race, which would
+# perturb the counts), a short hot-path benchmark smoke so ns/op
+# regressions fail fast, and a one-iteration benchmark pass (which also
+# regenerates the paper's tables and figures once and exercises the
+# attack and architecture-fingerprinting and topology-recovery stages at
+# both worker counts via BenchmarkAttackStage, BenchmarkArchIDStage and
 # BenchmarkTopoStage).
 
 GO ?= go
@@ -16,15 +17,29 @@ BENCH_JSON ?= BENCH_PR$(BENCH_PR).json
 # Key micro/campaign benches tracked across PRs.
 BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage|BenchmarkTopoStage
 
-.PHONY: all build vet test race bench bench-json allocgate benchsmoke fabricsmoke ci golden
+.PHONY: all build vet lint test race bench bench-json allocgate benchsmoke fabricsmoke ci golden
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# DETLINT is where the vettool binary is staged for `make vet`.
+DETLINT := $(shell mktemp -u)/detlint
+
+# vet runs the standard suite plus the repo's own analyzers through the
+# go vet tool protocol, so editors and CI share one diagnostic stream.
 vet:
 	$(GO) vet ./...
+	@mkdir -p $(dir $(DETLINT))
+	$(GO) build -o $(DETLINT) ./cmd/detlint
+	$(GO) vet -vettool=$(DETLINT) ./...
+	@rm -rf $(dir $(DETLINT))
+
+# lint runs the determinism analyzer suite standalone (faster iteration
+# than the vet protocol; same findings).
+lint:
+	$(GO) run ./cmd/detlint ./...
 
 test:
 	$(GO) test ./...
@@ -71,4 +86,4 @@ fabricsmoke:
 golden:
 	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport|TestTopoGoldenReport' -update .
 
-ci: vet build race allocgate benchsmoke fabricsmoke bench
+ci: vet build lint race allocgate benchsmoke fabricsmoke bench

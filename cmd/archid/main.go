@@ -29,7 +29,9 @@ import (
 	"os/signal"
 
 	"repro"
+	"repro/internal/archid"
 	"repro/internal/hpc"
+	"repro/internal/nn"
 	"repro/internal/report"
 )
 
@@ -128,32 +130,53 @@ func main() {
 	}
 }
 
+// resultJSON is the wire shape of an ArchIDResult. Fields are declared
+// in the alphabetical key order encoding/json gives sorted map keys, so
+// the emitted bytes match the map[string]any encoding this replaced;
+// the named struct makes the schema explicit and key order a property
+// of the type rather than of the encoder's map sort.
+type resultJSON struct {
+	AttackRuns    int                    `json:"attack_runs"`
+	Chance        float64                `json:"chance"`
+	Defense       string                 `json:"defense"`
+	Events        []string               `json:"events"`
+	K             int                    `json:"k"`
+	KNN           attackerJSON           `json:"knn"`
+	LayerEvidence []archid.LayerEvidence `json:"layer_evidence"`
+	Name          string                 `json:"name"`
+	Padded        bool                   `json:"padded"`
+	ProfileRuns   int                    `json:"profile_runs"`
+	Seed          int64                  `json:"seed"`
+	Template      attackerJSON           `json:"template"`
+	Zoo           []nn.SpecInfo          `json:"zoo"`
+}
+
+// attackerJSON is one attacker's accuracy and confusion matrix.
+type attackerJSON struct {
+	Accuracy float64             `json:"accuracy"`
+	Matrix   map[int]map[int]int `json:"matrix"`
+}
+
 // jsonResult flattens an ArchIDResult into a JSON-friendly shape with
 // event names instead of internal event ids.
-func jsonResult(r *repro.ArchIDResult) map[string]any {
+func jsonResult(r *repro.ArchIDResult) resultJSON {
 	names := make([]string, len(r.Attack.Events))
 	for i, e := range r.Attack.Events {
 		names[i] = e.String()
 	}
-	return map[string]any{
-		"name":         r.Attack.Name,
-		"seed":         r.Seed,
-		"defense":      r.Level.String(),
-		"padded":       r.Padded,
-		"events":       names,
-		"zoo":          r.Specs,
-		"profile_runs": r.Attack.ProfileRuns,
-		"attack_runs":  r.Attack.AttackRuns,
-		"k":            r.Attack.K,
-		"chance":       r.ChanceLevel(),
-		"template": map[string]any{
-			"accuracy": r.Attack.Template.Accuracy(),
-			"matrix":   r.Attack.Template.Matrix,
-		},
-		"knn": map[string]any{
-			"accuracy": r.Attack.KNN.Accuracy(),
-			"matrix":   r.Attack.KNN.Matrix,
-		},
-		"layer_evidence": r.Evidence,
+	return resultJSON{
+		AttackRuns:    r.Attack.AttackRuns,
+		Chance:        r.ChanceLevel(),
+		Defense:       r.Level.String(),
+		Events:        names,
+		K:             r.Attack.K,
+		KNN:           attackerJSON{Accuracy: r.Attack.KNN.Accuracy(), Matrix: r.Attack.KNN.Matrix},
+		LayerEvidence: r.Evidence,
+		Name:          r.Attack.Name,
+		Padded:        r.Padded,
+		ProfileRuns:   r.Attack.ProfileRuns,
+		Seed:          r.Seed,
+		Template:      attackerJSON{Accuracy: r.Attack.Template.Accuracy(), Matrix: r.Attack.Template.Matrix},
+		Zoo:           r.Specs,
 	}
 }

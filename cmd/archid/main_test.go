@@ -1,0 +1,85 @@
+package main
+
+// Byte-invariance regression: jsonResult moved from a bare map[string]any
+// (flagged by detlint's wiredigest analyzer) to the named resultJSON
+// struct, whose field order mirrors the sorted map keys. The emitted
+// bytes must be identical.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro"
+	"repro/internal/archid"
+	"repro/internal/attack"
+	"repro/internal/march"
+	"repro/internal/nn"
+)
+
+func sampleArchIDResult() *repro.ArchIDResult {
+	cm := func(correct int) *attack.ConfusionMatrix {
+		return &attack.ConfusionMatrix{
+			Classes: []int{0, 1},
+			Matrix:  map[int]map[int]int{0: {0: 2}, 1: {0: 1, 1: 1}},
+			Total:   4,
+			Correct: correct,
+		}
+	}
+	return &repro.ArchIDResult{
+		Attack: &attack.Result{
+			Name:        "archid/baseline",
+			Events:      []march.Event{march.EvInstructions},
+			Classes:     []int{0, 1},
+			ProfileRuns: 4,
+			AttackRuns:  2,
+			K:           3,
+			Template:    cm(3),
+			KNN:         cm(2),
+		},
+		Specs:    []nn.SpecInfo{{}, {}},
+		Evidence: []archid.LayerEvidence{{}},
+		Padded:   true,
+		Seed:     7,
+	}
+}
+
+func TestJSONResultBytesMatchLegacyMapEncoding(t *testing.T) {
+	r := sampleArchIDResult()
+	names := make([]string, len(r.Attack.Events))
+	for i, e := range r.Attack.Events {
+		names[i] = e.String()
+	}
+	legacy := map[string]any{
+		"name":         r.Attack.Name,
+		"seed":         r.Seed,
+		"defense":      r.Level.String(),
+		"padded":       r.Padded,
+		"events":       names,
+		"zoo":          r.Specs,
+		"profile_runs": r.Attack.ProfileRuns,
+		"attack_runs":  r.Attack.AttackRuns,
+		"k":            r.Attack.K,
+		"chance":       r.ChanceLevel(),
+		"template": map[string]any{
+			"accuracy": r.Attack.Template.Accuracy(),
+			"matrix":   r.Attack.Template.Matrix,
+		},
+		"knn": map[string]any{
+			"accuracy": r.Attack.KNN.Accuracy(),
+			"matrix":   r.Attack.KNN.Matrix,
+		},
+		"layer_evidence": r.Evidence,
+	}
+	want, err := json.MarshalIndent(legacy, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(jsonResult(r), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resultJSON bytes drifted from the legacy map encoding.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

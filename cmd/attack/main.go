@@ -136,28 +136,43 @@ func main() {
 	}
 }
 
+// resultJSON is the wire shape of an AttackResult. Fields are declared
+// in the alphabetical key order encoding/json gives sorted map keys, so
+// the emitted bytes match the map[string]any encoding this replaced.
+type resultJSON struct {
+	AttackRuns  int          `json:"attack_runs"`
+	Chance      float64      `json:"chance"`
+	Classes     []int        `json:"classes"`
+	Events      []string     `json:"events"`
+	K           int          `json:"k"`
+	KNN         attackerJSON `json:"knn"`
+	Name        string       `json:"name"`
+	ProfileRuns int          `json:"profile_runs"`
+	Template    attackerJSON `json:"template"`
+}
+
+// attackerJSON is one attacker's accuracy and confusion matrix.
+type attackerJSON struct {
+	Accuracy float64             `json:"accuracy"`
+	Matrix   map[int]map[int]int `json:"matrix"`
+}
+
 // jsonResult flattens an AttackResult into a JSON-friendly shape with
 // event names instead of internal event ids.
-func jsonResult(r *repro.AttackResult) map[string]any {
+func jsonResult(r *repro.AttackResult) resultJSON {
 	names := make([]string, len(r.Events))
 	for i, e := range r.Events {
 		names[i] = e.String()
 	}
-	return map[string]any{
-		"name":         r.Name,
-		"events":       names,
-		"classes":      r.Classes,
-		"profile_runs": r.ProfileRuns,
-		"attack_runs":  r.AttackRuns,
-		"k":            r.K,
-		"chance":       r.ChanceLevel(),
-		"template": map[string]any{
-			"accuracy": r.Template.Accuracy(),
-			"matrix":   r.Template.Matrix,
-		},
-		"knn": map[string]any{
-			"accuracy": r.KNN.Accuracy(),
-			"matrix":   r.KNN.Matrix,
-		},
+	return resultJSON{
+		AttackRuns:  r.AttackRuns,
+		Chance:      r.ChanceLevel(),
+		Classes:     r.Classes,
+		Events:      names,
+		K:           r.K,
+		KNN:         attackerJSON{Accuracy: r.KNN.Accuracy(), Matrix: r.KNN.Matrix},
+		Name:        r.Name,
+		ProfileRuns: r.ProfileRuns,
+		Template:    attackerJSON{Accuracy: r.Template.Accuracy(), Matrix: r.Template.Matrix},
 	}
 }

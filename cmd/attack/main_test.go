@@ -1,0 +1,74 @@
+package main
+
+// Byte-invariance regression: jsonResult moved from a bare map[string]any
+// (flagged by detlint's wiredigest analyzer) to the named resultJSON
+// struct. The struct declares its fields in the alphabetical key order
+// encoding/json gave the sorted map, so the emitted bytes must be
+// identical — this test pins that equivalence.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/march"
+)
+
+func sampleAttackResult() *repro.AttackResult {
+	cm := func(correct int) *attack.ConfusionMatrix {
+		return &attack.ConfusionMatrix{
+			Classes: []int{0, 1},
+			Matrix:  map[int]map[int]int{0: {0: 3, 1: 1}, 1: {1: 4}},
+			Total:   8,
+			Correct: correct,
+		}
+	}
+	return &repro.AttackResult{
+		Name:        "mnist/baseline",
+		Events:      []march.Event{march.EvInstructions, march.EvCacheMisses},
+		Classes:     []int{0, 1},
+		ProfileRuns: 4,
+		AttackRuns:  2,
+		K:           3,
+		Template:    cm(7),
+		KNN:         cm(6),
+	}
+}
+
+func TestJSONResultBytesMatchLegacyMapEncoding(t *testing.T) {
+	r := sampleAttackResult()
+	names := make([]string, len(r.Events))
+	for i, e := range r.Events {
+		names[i] = e.String()
+	}
+	legacy := map[string]any{
+		"name":         r.Name,
+		"events":       names,
+		"classes":      r.Classes,
+		"profile_runs": r.ProfileRuns,
+		"attack_runs":  r.AttackRuns,
+		"k":            r.K,
+		"chance":       r.ChanceLevel(),
+		"template": map[string]any{
+			"accuracy": r.Template.Accuracy(),
+			"matrix":   r.Template.Matrix,
+		},
+		"knn": map[string]any{
+			"accuracy": r.KNN.Accuracy(),
+			"matrix":   r.KNN.Matrix,
+		},
+	}
+	want, err := json.MarshalIndent(legacy, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(jsonResult(r), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resultJSON bytes drifted from the legacy map encoding.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -150,12 +150,13 @@ func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		id := s.nextID
 		s.nextID++
+		//detlint:allow seedpurity — Submitted is display-only operator telemetry; no campaign bytes derive from it
 		c := &campaign{ID: id, State: stateQueued, Request: req, Submitted: time.Now().UTC()}
 		s.campaigns[id] = c
 		s.order = append(s.order, id)
 		s.mu.Unlock()
 		s.queue <- id
-		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": stateQueued})
+		writeJSON(w, http.StatusAccepted, enqueuedJSON{ID: id, State: stateQueued})
 	case http.MethodGet:
 		s.mu.Lock()
 		list := make([]*campaign, 0, len(s.order))
@@ -213,6 +214,20 @@ func validateRequest(req CampaignRequest) error {
 	return nil
 }
 
+// enqueuedJSON acknowledges POST /campaigns. A named struct (not a bare
+// map) keeps the response schema explicit and its key order a property
+// of the type; fields stay in the alphabetical order the former map
+// encoding produced, so client-visible bytes are unchanged.
+type enqueuedJSON struct {
+	ID    int           `json:"id"`
+	State campaignState `json:"state"`
+}
+
+// errorJSON is the uniform error envelope for every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -222,5 +237,5 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
 }

@@ -223,3 +223,29 @@ func TestServerListsCampaignsAndHandles404(t *testing.T) {
 		t.Fatalf("missing campaign status = %d, want 404", resp.StatusCode)
 	}
 }
+
+func TestResponseBytesMatchLegacyMapEncoding(t *testing.T) {
+	// The enqueue ack and error envelope moved from bare map literals
+	// (flagged by detlint's wiredigest analyzer) to the named enqueuedJSON
+	// / errorJSON structs; their field order mirrors the sorted map keys,
+	// so client-visible bytes must be unchanged.
+	marshal := func(v any) string {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	got := marshal(enqueuedJSON{ID: 3, State: stateQueued})
+	want := marshal(map[string]any{"id": 3, "state": stateQueued})
+	if got != want {
+		t.Errorf("enqueue ack drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	got = marshal(errorJSON{Error: "no campaign 9"})
+	want = marshal(map[string]string{"error": "no campaign 9"})
+	if got != want {
+		t.Errorf("error envelope drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

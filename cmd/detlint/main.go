@@ -1,0 +1,128 @@
+// Command detlint runs this repository's determinism-and-hot-path
+// analyzer suite (internal/lint) over Go packages.
+//
+// Standalone:
+//
+//	detlint ./...              lint package patterns (via go list)
+//	detlint -dir path/to/dir   lint a bare directory of Go files
+//	                           (works on testdata trees go list ignores;
+//	                           path-scoped analyzers run unconditionally)
+//	detlint -run maporder,seedpurity ./...   subset of analyzers
+//
+// As a vet tool (shares diagnostics with editors and CI):
+//
+//	go vet -vettool=$(which detlint) ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet's tool protocol probes -V=full first and then invokes the
+	// tool with a *.cfg argument; both bypass normal flag handling.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("detlint version detlint-1.0\n")
+		return 0
+	}
+	// The go command also probes `-flags` for the tool's flag definitions
+	// (a JSON array); detlint exposes none to the vet driver.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetTool(args[0])
+	}
+
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	dir := fs.String("dir", "", "lint a bare directory of Go files instead of package patterns")
+	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	if *dir != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "detlint: -dir and package patterns are mutually exclusive")
+			return 2
+		}
+		pkg, err := lint.LoadDir(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+		pkgs = []*lint.Package{pkg}
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		if pkgs, err = lint.Load(".", patterns...); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		d.Pos.Filename = relative(cwd, d.Pos.Filename)
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves a comma-separated subset, or all when empty.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// relative shortens a path to cwd-relative form when that is shorter.
+func relative(cwd, path string) string {
+	if cwd == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,122 @@
+package main
+
+// The `go vet -vettool` protocol, reimplemented on the stdlib (the
+// canonical implementation lives in golang.org/x/tools/go/analysis/
+// unitchecker, which this dependency-free module cannot import). The go
+// command drives the tool once per package:
+//
+//  1. `detlint -V=full` — version handshake for the build cache
+//     (handled in run());
+//  2. `detlint <unit>.cfg` — analyze one package unit. The cfg is JSON
+//     describing the package's files, its import map and the export-data
+//     file of every dependency. The tool must write cfg.VetxOutput (the
+//     facts file the go command caches; detlint's analyzers are
+//     fact-free, so a fixed payload suffices) and report diagnostics on
+//     stderr with a non-zero exit.
+//
+// The type-check path reuses internal/lint's gc-export importer: the cfg
+// PackageFile map plays the role `go list -export` plays standalone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors the fields of the go command's vet config file that
+// the tool consumes (the schema unitchecker.Config documents).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The facts file must exist for the go command to cache the unit,
+	// findings or not. detlint exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("detlint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Vet also drives test units: pkg.test mains, bracketed variants and
+	// the test-augmented package build (same import path, _test.go files
+	// included). detlint's invariants govern shipped campaign code only —
+	// tests legitimately use wall clocks and ad-hoc seeds — so those
+	// units succeed after the handshake obligations above.
+	if strings.HasSuffix(cfg.ImportPath, ".test") || strings.Contains(cfg.ImportPath, " [") {
+		return 0
+	}
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			return 0
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependency export data comes straight from the cfg; the import map
+	// translates source-level paths before lookup.
+	pkg, err := lint.CheckUnit(fset, cfg.ImportPath, files, func(path string) (string, bool) {
+		if mapped, found := cfg.ImportMap[path]; found {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+
+	diags := lint.Run([]*lint.Package{pkg}, lint.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -85,6 +85,7 @@ func faultHooks() *fabric.ServeOptions {
 			}
 			fmt.Fprintf(f, "killed before shard %d\n", plan.Index)
 			f.Close()
+			//detlint:allow seedpurity — fault-injection self-SIGKILL: the pid addresses this process for Kill, no campaign bytes derive from it
 			proc, _ := os.FindProcess(os.Getpid())
 			proc.Kill() // SIGKILL: no deferred cleanup, no error frame
 			select {}   // unreachable; Kill is asynchronous on some platforms

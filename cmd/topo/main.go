@@ -29,7 +29,9 @@ import (
 
 	"repro"
 	"repro/internal/hpc"
+	"repro/internal/nn"
 	"repro/internal/report"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -115,28 +117,49 @@ func main() {
 	}
 }
 
+// resultJSON is the wire shape of a TopoResult. Fields are declared in
+// the alphabetical key order encoding/json gives sorted map keys, so
+// the emitted bytes match the map[string]any encoding this replaced.
+type resultJSON struct {
+	ChanceKind          float64             `json:"chance_kind"`
+	Defense             string              `json:"defense"`
+	Events              []string            `json:"events"`
+	ExactCountRate      float64             `json:"exact_count_rate"`
+	HoldoutZoo          []nn.SpecInfo       `json:"holdout_zoo"`
+	Kinds               []string            `json:"kinds"`
+	MeanFootprintRelErr float64             `json:"mean_footprint_rel_err"`
+	MeanKindAccuracy    float64             `json:"mean_kind_accuracy"`
+	MeanParamRelErr     float64             `json:"mean_param_rel_err"`
+	Name                string              `json:"name"`
+	Padded              bool                `json:"padded"`
+	Quantum             uint64              `json:"quantum"`
+	Seed                int64               `json:"seed"`
+	TrainZoo            []nn.SpecInfo       `json:"train_zoo"`
+	Victims             []topo.VictimResult `json:"victims"`
+}
+
 // jsonResult flattens a TopoResult into a JSON-friendly shape with event
 // names instead of internal event ids.
-func jsonResult(r *repro.TopoResult) map[string]any {
+func jsonResult(r *repro.TopoResult) resultJSON {
 	names := make([]string, len(r.Events))
 	for i, e := range r.Events {
 		names[i] = e.String()
 	}
-	return map[string]any{
-		"name":                   r.Name,
-		"seed":                   r.Seed,
-		"defense":                r.Level.String(),
-		"padded":                 r.Padded,
-		"events":                 names,
-		"quantum":                r.Quantum,
-		"train_zoo":              r.TrainSpecs,
-		"holdout_zoo":            r.HoldoutSpecs,
-		"kinds":                  r.Kinds,
-		"chance_kind":            r.ChanceKind,
-		"victims":                r.Victims,
-		"exact_count_rate":       r.ExactCountRate,
-		"mean_kind_accuracy":     r.MeanKindAccuracy,
-		"mean_param_rel_err":     r.MeanParamRelErr,
-		"mean_footprint_rel_err": r.MeanFootprintRelErr,
+	return resultJSON{
+		ChanceKind:          r.ChanceKind,
+		Defense:             r.Level.String(),
+		Events:              names,
+		ExactCountRate:      r.ExactCountRate,
+		HoldoutZoo:          r.HoldoutSpecs,
+		Kinds:               r.Kinds,
+		MeanFootprintRelErr: r.MeanFootprintRelErr,
+		MeanKindAccuracy:    r.MeanKindAccuracy,
+		MeanParamRelErr:     r.MeanParamRelErr,
+		Name:                r.Name,
+		Padded:              r.Padded,
+		Quantum:             r.Quantum,
+		Seed:                r.Seed,
+		TrainZoo:            r.TrainSpecs,
+		Victims:             r.Victims,
 	}
 }

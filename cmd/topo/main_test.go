@@ -1,0 +1,72 @@
+package main
+
+// Byte-invariance regression: jsonResult moved from a bare map[string]any
+// (flagged by detlint's wiredigest analyzer) to the named resultJSON
+// struct, whose field order mirrors the sorted map keys. The emitted
+// bytes must be identical.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro"
+	"repro/internal/march"
+	"repro/internal/nn"
+	"repro/internal/topo"
+)
+
+func sampleTopoResult() *repro.TopoResult {
+	return &repro.TopoResult{
+		Name:                "mnist-topo/baseline",
+		Padded:              false,
+		Seed:                3,
+		Quantum:             5000,
+		Events:              []march.Event{march.EvInstructions, march.EvL1DLoads},
+		TrainSpecs:          []nn.SpecInfo{{}, {}},
+		HoldoutSpecs:        []nn.SpecInfo{{}},
+		Kinds:               []string{"conv", "dense"},
+		ChanceKind:          0.5,
+		Victims:             []topo.VictimResult{{}},
+		ExactCountRate:      0.75,
+		MeanKindAccuracy:    0.9,
+		MeanParamRelErr:     0.1,
+		MeanFootprintRelErr: 0.05,
+	}
+}
+
+func TestJSONResultBytesMatchLegacyMapEncoding(t *testing.T) {
+	r := sampleTopoResult()
+	names := make([]string, len(r.Events))
+	for i, e := range r.Events {
+		names[i] = e.String()
+	}
+	legacy := map[string]any{
+		"name":                   r.Name,
+		"seed":                   r.Seed,
+		"defense":                r.Level.String(),
+		"padded":                 r.Padded,
+		"events":                 names,
+		"quantum":                r.Quantum,
+		"train_zoo":              r.TrainSpecs,
+		"holdout_zoo":            r.HoldoutSpecs,
+		"kinds":                  r.Kinds,
+		"chance_kind":            r.ChanceKind,
+		"victims":                r.Victims,
+		"exact_count_rate":       r.ExactCountRate,
+		"mean_kind_accuracy":     r.MeanKindAccuracy,
+		"mean_param_rel_err":     r.MeanParamRelErr,
+		"mean_footprint_rel_err": r.MeanFootprintRelErr,
+	}
+	want, err := json.MarshalIndent(legacy, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(jsonResult(r), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resultJSON bytes drifted from the legacy map encoding.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -184,7 +184,14 @@ func digitImage(cls int, rng *rand.Rand, noise float64) *tensor.Tensor {
 }
 
 // drawLine stamps an anti-aliased thick segment into a 28×28×1 image.
+// Endpoints are finite by construction (stroke-table literals jittered by
+// bounded rng draws); the guard pins that invariant at the boundary so
+// the int(float) conversions below never see NaN/Inf.
 func drawLine(img *tensor.Tensor, x0, y0, x1, y1, thick float64) {
+	if math.IsNaN(x0) || math.IsNaN(y0) || math.IsNaN(x1) || math.IsNaN(y1) ||
+		math.IsInf(x0, 0) || math.IsInf(y0, 0) || math.IsInf(x1, 0) || math.IsInf(y1, 0) {
+		return
+	}
 	steps := int(math.Hypot(x1-x0, y1-y0)*2) + 1
 	for s := 0; s <= steps; s++ {
 		t := float64(s) / float64(steps)

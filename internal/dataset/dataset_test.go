@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/tensor"
 )
 
 func TestMNISTLikeShapesAndLabels(t *testing.T) {
@@ -204,5 +206,39 @@ func TestQuickDigitImagesAlwaysValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDrawLineRejectsNonFiniteEndpoints(t *testing.T) {
+	// drawLine's int(float) conversions rely on finite endpoints; the
+	// boundary guard must turn NaN/Inf inputs into a no-op rather than
+	// letting platform-defined int(NaN) indices touch the image.
+	cases := [][4]float64{
+		{math.NaN(), 5, 20, 20},
+		{5, math.NaN(), 20, 20},
+		{5, 5, math.Inf(1), 20},
+		{5, 5, 20, math.Inf(-1)},
+	}
+	for _, c := range cases {
+		img := tensor.New(28, 28, 1)
+		drawLine(img, c[0], c[1], c[2], c[3], 1.5)
+		for i, v := range img.Data {
+			if v != 0 {
+				t.Fatalf("drawLine(%v) wrote pixel %d = %v; want untouched image", c, i, v)
+			}
+		}
+	}
+}
+
+func TestDrawLineFiniteStillDraws(t *testing.T) {
+	// The guard must not swallow legitimate strokes.
+	img := tensor.New(28, 28, 1)
+	drawLine(img, 4, 4, 24, 24, 1.5)
+	sum := float32(0)
+	for _, v := range img.Data {
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("drawLine(finite endpoints) drew nothing")
 	}
 }

@@ -145,6 +145,8 @@ func (p *PMU) Measure(slices int, workload func(slice int)) (Profile, error) {
 // Profile. After the first call with a given programming, re-using the
 // same Profile makes the measure path allocation-free (the keys already
 // exist; values are overwritten).
+//
+//detlint:allocpath
 func (p *PMU) MeasureInto(prof Profile, slices int, workload func(slice int)) error {
 	if len(p.events) == 0 {
 		return fmt.Errorf("hpc: Measure before Program")
@@ -193,6 +195,8 @@ func (p *PMU) MeasureInto(prof Profile, slices int, workload func(slice int)) er
 // Profile, unchanged programming) costs one comparison and no map
 // iteration, keeping the measure hot path at its 0-alloc nanosecond
 // budget. The delete loop itself is allocation-free.
+//
+//detlint:allocpath
 func (p *PMU) scrubStale(prof Profile) {
 	if len(prof) == len(p.events) {
 		return
@@ -206,6 +210,8 @@ func (p *PMU) scrubStale(prof Profile) {
 
 // applyNoise applies measurement noise once per interval, mirroring a real
 // system where the reading itself is jittered.
+//
+//detlint:allocpath
 func (p *PMU) applyNoise(prof Profile) {
 	noise := p.engine.Noise()
 	if noise == nil {
@@ -235,6 +241,8 @@ func (p *PMU) MeasureOnce(workload func()) (Profile, error) {
 // the zero-allocation steady-state form the collection pipeline uses (one
 // Profile reused across a shard's runs). The observed counts are identical
 // to MeasureOnce's: a single interval needs no multiplex scaling.
+//
+//detlint:allocpath
 func (p *PMU) MeasureOnceInto(prof Profile, workload func()) error {
 	if len(p.events) == 0 {
 		return fmt.Errorf("hpc: Measure before Program")

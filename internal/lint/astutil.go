@@ -1,0 +1,124 @@
+package lint
+
+// Shared AST/type helpers for the analyzers.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// exprString renders an expression as source text for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	s := buf.String()
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+// calleeFunc resolves a call's callee to its types.Func (package-level
+// function or method), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether a call invokes the package-level function
+// pkgPath.name (not a method).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// isBuiltin reports whether a call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isConversion reports whether a call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi].
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() != token.NoPos && obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// objectOf resolves an identifier (possibly parenthesized) to its object.
+func objectOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal in file containing pos, or nil.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos > n.End() {
+			return n == nil
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}
+
+// pathIn reports whether path is pkg or a package under pkg/.
+func pathIn(path, pkg string) bool {
+	return path == pkg || strings.HasPrefix(path, pkg+"/")
+}
+
+// isFloat reports whether t's underlying basic type is floating point.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isInteger reports whether t's underlying basic type is an integer.
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,98 @@
+package lint
+
+// Suppression directives. A finding that is deliberate is annotated in
+// source:
+//
+//	//detlint:allow <analyzer> — <reason>
+//
+// The separator may be an em-dash or "--"; the reason is mandatory — an
+// allow without one is itself a diagnostic (and cannot be suppressed), so
+// every silenced finding carries its justification in the code. The
+// directive silences matching diagnostics reported on its own line or on
+// the line directly below it (i.e. it may trail the statement or sit on
+// its own line above it).
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// directivePrefix introduces an allow directive comment.
+const directivePrefix = "detlint:allow"
+
+// allow is one parsed //detlint:allow directive.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// allowIndex maps file name → line → directives governing that line.
+type allowIndex map[string]map[int][]*allow
+
+// parseAllows scans a file's comments for allow directives. Malformed
+// directives (unknown analyzer, missing reason) are reported through
+// report as analyzer "detlint"; those diagnostics are not suppressible.
+func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool, report func(Diagnostic)) allowIndex {
+	idx := allowIndex{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+			name := rest
+			reason := ""
+			for _, sep := range []string{"—", "--"} {
+				if i := strings.Index(rest, sep); i >= 0 {
+					name = strings.TrimSpace(rest[:i])
+					reason = strings.TrimSpace(rest[i+len(sep):])
+					break
+				}
+			}
+			pos := fset.Position(c.Pos())
+			if name == "" || strings.ContainsAny(name, " \t") {
+				report(Diagnostic{Pos: pos, Analyzer: "detlint",
+					Message: "malformed allow directive: want //detlint:allow <analyzer> — <reason>"})
+				continue
+			}
+			if known != nil && !known[name] {
+				report(Diagnostic{Pos: pos, Analyzer: "detlint",
+					Message: "allow directive names unknown analyzer " + strconv.Quote(name)})
+				continue
+			}
+			if reason == "" {
+				report(Diagnostic{Pos: pos, Analyzer: "detlint",
+					Message: "allow directive for " + name + " is missing its reason (//detlint:allow " + name + " — <reason>)"})
+				continue
+			}
+			byLine := idx[pos.Filename]
+			if byLine == nil {
+				byLine = map[int][]*allow{}
+				idx[pos.Filename] = byLine
+			}
+			// The directive governs its own line (trailing comment) and the
+			// next line (comment above the statement).
+			a := &allow{analyzer: name, reason: reason, pos: c.Pos()}
+			byLine[pos.Line] = append(byLine[pos.Line], a)
+			byLine[pos.Line+1] = append(byLine[pos.Line+1], a)
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic from analyzer at pos is covered
+// by an allow directive, marking the directive used.
+func (idx allowIndex) suppressed(pos token.Position, analyzer string) bool {
+	for _, a := range idx[pos.Filename][pos.Line] {
+		if a.analyzer == analyzer {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}

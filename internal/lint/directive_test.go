@@ -1,0 +1,111 @@
+package lint
+
+// Unit tests for the //detlint:allow directive grammar: both separators,
+// the mandatory reason, unknown-analyzer rejection, and the two-line
+// suppression window (own line + the line below).
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseDirectives runs parseAllows over one source string and returns the
+// index plus any malformed-directive diagnostics.
+func parseDirectives(t *testing.T, src string, known map[string]bool) (allowIndex, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	idx := parseAllows(fset, f, known, func(d Diagnostic) { diags = append(diags, d) })
+	return idx, diags
+}
+
+var knownAnalyzers = map[string]bool{"maporder": true, "seedpurity": true}
+
+func TestAllowDirectiveSeparators(t *testing.T) {
+	for _, sep := range []string{"—", "--"} {
+		src := "package p\n\n//detlint:allow maporder " + sep + " keys feed an order-insensitive set\nvar x int\n"
+		idx, diags := parseDirectives(t, src, knownAnalyzers)
+		if len(diags) != 0 {
+			t.Fatalf("separator %q: unexpected diagnostics %v", sep, diags)
+		}
+		// The directive sits on line 3 and governs lines 3 and 4.
+		for _, line := range []int{3, 4} {
+			if !idx.suppressed(token.Position{Filename: "fixture.go", Line: line}, "maporder") {
+				t.Errorf("separator %q: line %d not suppressed", sep, line)
+			}
+		}
+		if idx.suppressed(token.Position{Filename: "fixture.go", Line: 5}, "maporder") {
+			t.Errorf("separator %q: directive leaked past its two-line window", sep)
+		}
+	}
+}
+
+func TestAllowDirectiveIsAnalyzerScoped(t *testing.T) {
+	src := "package p\n\n//detlint:allow maporder — only maporder is waived here\nvar x int\n"
+	idx, diags := parseDirectives(t, src, knownAnalyzers)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics %v", diags)
+	}
+	if idx.suppressed(token.Position{Filename: "fixture.go", Line: 4}, "seedpurity") {
+		t.Error("a maporder allow must not suppress seedpurity findings")
+	}
+}
+
+func TestAllowDirectiveRequiresReason(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//detlint:allow maporder\nvar x int\n",
+		"package p\n\n//detlint:allow maporder —\nvar x int\n",
+		"package p\n\n//detlint:allow maporder --   \nvar x int\n",
+	} {
+		idx, diags := parseDirectives(t, src, knownAnalyzers)
+		if len(diags) != 1 {
+			t.Fatalf("want exactly 1 missing-reason diagnostic, got %v", diags)
+		}
+		if d := diags[0]; d.Analyzer != "detlint" || !strings.Contains(d.Message, "missing its reason") {
+			t.Errorf("wrong diagnostic for reasonless allow: %s", d)
+		}
+		if idx.suppressed(token.Position{Filename: "fixture.go", Line: 4}, "maporder") {
+			t.Error("a reasonless allow must not suppress anything")
+		}
+	}
+}
+
+func TestAllowDirectiveUnknownAnalyzer(t *testing.T) {
+	src := "package p\n\n//detlint:allow sortorder — typo for maporder\nvar x int\n"
+	idx, diags := parseDirectives(t, src, knownAnalyzers)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown analyzer "sortorder"`) {
+		t.Fatalf("want unknown-analyzer diagnostic, got %v", diags)
+	}
+	if idx.suppressed(token.Position{Filename: "fixture.go", Line: 4}, "maporder") {
+		t.Error("an unknown-analyzer allow must not suppress anything")
+	}
+}
+
+func TestAllowDirectiveMalformed(t *testing.T) {
+	// No analyzer name at all: the directive is rejected outright.
+	src := "package p\n\n//detlint:allow — just a reason, no analyzer\nvar x int\n"
+	_, diags := parseDirectives(t, src, knownAnalyzers)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "unknown analyzer") && !strings.Contains(diags[0].Message, "malformed allow directive") {
+		t.Errorf("wrong diagnostic for malformed allow: %s", diags[0])
+	}
+}
+
+func TestAllowDirectiveTrailing(t *testing.T) {
+	src := "package p\n\nvar x = 0 //detlint:allow seedpurity — trailing form governs its own line\n"
+	idx, diags := parseDirectives(t, src, knownAnalyzers)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics %v", diags)
+	}
+	if !idx.suppressed(token.Position{Filename: "fixture.go", Line: 3}, "seedpurity") {
+		t.Error("trailing allow must suppress findings on its own line")
+	}
+}

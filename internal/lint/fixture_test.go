@@ -1,0 +1,137 @@
+package lint
+
+// The analyzer fixture harness: each analyzer owns a fixture package
+// under testdata/src/<name>/ whose flagged lines carry analysistest-style
+// `// want "substring"` comments. The harness loads the directory the way
+// `detlint -dir` does and demands an exact match — every want satisfied
+// by a diagnostic on its line, every diagnostic claimed by a want.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted substrings of a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// wantKey locates one expectation: fixture file base name and line.
+type wantKey struct {
+	file string
+	line int
+}
+
+// parseWants scans a fixture directory's Go files for want comments.
+func parseWants(t *testing.T, dir string) map[wantKey][]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[wantKey][]string{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := wantKey{file: e.Name(), line: i + 1}
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				wants[key] = append(wants[key], q[1])
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", dir)
+	}
+	return wants
+}
+
+// TestAnalyzerFixtures runs every analyzer over its fixture package and
+// matches the diagnostics against the want comments.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			pkg, err := LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{a})
+			wants := parseWants(t, dir)
+
+			for _, d := range diags {
+				if d.Analyzer != a.Name && d.Analyzer != "detlint" {
+					t.Errorf("diagnostic from foreign analyzer %s: %s", d.Analyzer, d)
+					continue
+				}
+				key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+				matched := false
+				for i, w := range wants[key] {
+					if strings.Contains(d.Message, w) {
+						wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for key, ws := range wants {
+				for _, w := range ws {
+					t.Errorf("%s:%d: expected diagnostic containing %q, got none", key.file, key.line, w)
+				}
+			}
+		})
+	}
+}
+
+// TestEveryAnalyzerHasFixtures fails when an analyzer is added to All()
+// without a fixture package of pass/fail cases.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range All() {
+		dir := filepath.Join("testdata", "src", a.Name)
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("analyzer %s has no fixture package: %v", a.Name, err)
+		}
+	}
+}
+
+// TestRunOrdersDiagnostics pins Run's stable diagnostic order, which the
+// dirty-fixture meta-test and editor integrations rely on.
+func TestRunOrdersDiagnostics(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "maporder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Maporder})
+	if len(diags) < 2 {
+		t.Fatalf("want ≥2 diagnostics from the maporder fixture, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+	for _, d := range diags {
+		want := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if d.String() != want {
+			t.Errorf("Diagnostic.String() = %q, want %q", d.String(), want)
+		}
+	}
+}

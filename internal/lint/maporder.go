@@ -1,0 +1,213 @@
+package lint
+
+// maporder: flag `for … range` over a map whose body performs an
+// order-dependent reduction — appending to a slice that outlives the
+// loop, writing through an io.Writer/encoder, formatting output, or
+// accumulating floating-point sums. Go randomizes map iteration order, so
+// any of these makes the function's output depend on the run, which is
+// exactly the class of bug the workers=1≡N / processes=1≡N guarantee
+// cannot survive.
+//
+// Two idioms pass without annotation:
+//
+//   - writes keyed by the range variable (m2[k] = v): map/slice indexed
+//     stores commute, so iteration order cannot be observed;
+//   - the sorted-keys idiom: a loop that only collects keys/values into a
+//     slice which is subsequently passed to a sort call in the same
+//     function (sort.Strings(keys), sort.Ints, sort.Slice, slices.Sort…)
+//     — the sort erases the iteration order before anything observes it.
+//
+// Anything else needs //detlint:allow maporder — <reason>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder is the order-dependent map-iteration analyzer.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops whose body is an order-dependent reduction (slice append, writer/encoder output, float accumulation)",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, file, rs)
+			return true
+		})
+	}
+}
+
+// checkMapRange inspects one range-over-map body for order-dependent
+// reductions.
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	mapText := exprString(pass.Fset, rs.X)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges report on their own.
+			if n != rs {
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, file, rs, n, mapText)
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass.Info, n); ok {
+				pass.Reportf(n.Pos(), "range over map %s: %s output depends on map iteration order (iterate sorted keys instead)", mapText, name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-dependent assignments inside a map
+// range: appends to slices that outlive the loop (unless the sorted-keys
+// idiom) and floating-point accumulation into variables that outlive the
+// loop.
+func checkMapRangeAssign(pass *Pass, file *ast.File, rs *ast.RangeStmt, as *ast.AssignStmt, mapText string) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(pass.Info, call, "append") || i >= len(as.Lhs) {
+				continue
+			}
+			target := objectOf(pass.Info, as.Lhs[i])
+			if target == nil || declaredWithin(target, rs.Body.Pos(), rs.Body.End()) {
+				continue // per-iteration local; order cannot outlive the loop
+			}
+			if sortedLater(pass, file, rs, target) {
+				continue // sorted-keys idiom
+			}
+			pass.Reportf(as.Pos(), "range over map %s: append to %s depends on map iteration order (collect and sort keys first, or sort %s before use)", mapText, target.Name(), target.Name())
+		}
+		// Float re-accumulation spelled x = x + v.
+		if as.Tok == token.ASSIGN && len(as.Lhs) == 1 {
+			if target := objectOf(pass.Info, as.Lhs[0]); target != nil && isFloat(target.Type()) &&
+				!declaredWithin(target, rs.Body.Pos(), rs.Body.End()) &&
+				selfReferential(pass.Info, as.Lhs[0], as.Rhs[0]) {
+				pass.Reportf(as.Pos(), "range over map %s: floating-point accumulation into %s depends on map iteration order (sum over sorted keys)", mapText, target.Name())
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		target := objectOf(pass.Info, as.Lhs[0])
+		if target == nil {
+			// Indexed stores (m[k] += v) keyed by the range variable are
+			// handled conservatively: only flat identifiers are checked.
+			return
+		}
+		if isFloat(target.Type()) && !declaredWithin(target, rs.Body.Pos(), rs.Body.End()) {
+			pass.Reportf(as.Pos(), "range over map %s: floating-point accumulation into %s depends on map iteration order (sum over sorted keys)", mapText, target.Name())
+		}
+	}
+}
+
+// selfReferential reports whether rhs mentions the same object lhs names
+// (the x = x + v accumulation shape).
+func selfReferential(info *types.Info, lhs, rhs ast.Expr) bool {
+	target := objectOf(info, lhs)
+	if target == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedLater reports whether target is passed to a sort call after the
+// range statement in the same function — the collect-then-sort idiom.
+func sortedLater(pass *Pass, file *ast.File, rs *ast.RangeStmt, target types.Object) bool {
+	body := enclosingFuncBody(file, rs.Pos())
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return !sorted
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil || !isSortFunc(f.Pkg().Path(), f.Name()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if objectOf(pass.Info, arg) == target {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSortFunc matches the sort/slices calls that erase collection order:
+// sort.Ints/Strings/Float64s/Slice/SliceStable/Sort/Stable and the
+// slices.Sort* family.
+func isSortFunc(pkg, name string) bool {
+	switch pkg {
+	case "sort":
+		switch name {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(name, "Sort")
+	}
+	return false
+}
+
+// outputCall reports whether a call writes or formats output: io.Writer /
+// encoder methods and fmt print functions. These make map iteration order
+// directly observable in the produced bytes.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	name := f.Name()
+	if sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "WriteRecord", "Encode", "EncodeToken", "Printf", "Print", "Println", "Fprintf":
+			return name, true
+		}
+		return "", false
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		// Sprint*/Append* are purely functional — their results are only
+		// order-visible where they flow, which the append/write checks
+		// catch — so only direct emission is flagged here.
+		if strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print") {
+			return "fmt." + name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,104 @@
+package lint
+
+// nanconv: int(x) where x is a float is platform-defined when x is NaN or
+// out of the integer's range (the PR 2 histogram bug: int(NaN) differs
+// across architectures, which broke cross-platform byte identity). In the
+// numeric packages that feed reports (dataset, report, stats), every
+// float→int conversion must either be guarded (math.IsNaN / explicit
+// clamping visibly dominating the conversion) or annotated with the
+// reason it cannot see a NaN.
+//
+// A conversion is considered guarded when the enclosing function calls
+// math.IsNaN or math.IsInf before it (the early-return guard idiom) —
+// Floor/Ceil/Round/Trunc do NOT count, they preserve NaN. Compile-time
+// constant operands are exempt.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nanconv is the float→int conversion analyzer.
+var Nanconv = &Analyzer{
+	Name: "nanconv",
+	Doc:  "flags int(float) conversions of possibly-NaN values in the report-feeding numeric packages",
+	Run:  runNanconv,
+}
+
+// nanconvPkgs are the numeric packages whose values reach serialized
+// reports.
+var nanconvPkgs = []string{
+	"repro/internal/dataset",
+	"repro/internal/report",
+	"repro/internal/stats",
+}
+
+func runNanconv(pass *Pass) {
+	if !pass.ExplicitDir {
+		in := false
+		for _, p := range nanconvPkgs {
+			if pathIn(pass.Path, p) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 || !isConversion(pass.Info, call) {
+				return true
+			}
+			to := pass.Info.TypeOf(call.Fun)
+			from := pass.Info.TypeOf(call.Args[0])
+			if to == nil || from == nil || !isInteger(to) || !isFloat(from) {
+				return true
+			}
+			if constantOperand(pass.Info, call.Args[0]) {
+				return true
+			}
+			if nanGuarded(pass, file, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "int conversion of float %s: int(NaN) and out-of-range values are platform-defined (guard with math.IsNaN/IsInf or clamp first)",
+				exprString(pass.Fset, call.Args[0]))
+			return true
+		})
+	}
+}
+
+// constantOperand reports whether the converted expression is a
+// compile-time constant (cannot be NaN at runtime).
+func constantOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// nanGuarded reports whether the enclosing function visibly tests for
+// NaN/Inf before the conversion: a call to math.IsNaN or math.IsInf
+// anywhere in the same function at an earlier position (the early-return
+// guard idiom) or in an enclosing if condition. The match is syntactic,
+// not dataflow — it exists to make the protection reviewable at the
+// conversion site; a guard on the wrong variable still reads as intent
+// and the allow directive covers genuinely unguardable sites.
+func nanGuarded(pass *Pass, file *ast.File, call *ast.CallExpr) bool {
+	body := enclosingFuncBody(file, call.Pos())
+	if body == nil {
+		return false
+	}
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CallExpr)
+		if !ok || cc.Pos() >= call.Pos() {
+			return !guarded
+		}
+		if isPkgFunc(pass.Info, cc, "math", "IsNaN") || isPkgFunc(pass.Info, cc, "math", "IsInf") {
+			guarded = true
+		}
+		return !guarded
+	})
+	return guarded
+}

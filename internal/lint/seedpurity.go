@@ -1,0 +1,166 @@
+package lint
+
+// seedpurity: in the deterministic packages — the ones whose outputs must
+// be byte-identical for any worker/process count — every source of
+// randomness or ambient process state is banned unless it is derived from
+// a campaign seed. Flagged:
+//
+//   - time.Now / time.Since (wall clock),
+//   - os.Getpid (process identity),
+//   - the global math/rand functions (process-global, cross-goroutine
+//     nondeterministic source),
+//   - rand.NewSource(x) where x is not traceable to a seed: the argument
+//     must be built from literals, constants, identifiers or fields whose
+//     name mentions "seed", or calls into the seed-derivation helpers
+//     (core.DeriveSeed / SplitMix64) — the repo's seed-domain idiom.
+//
+// Display-only uses (wall-clock telemetry, IO deadlines) carry
+// //detlint:allow seedpurity — <reason>.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seedpurity is the deterministic-package purity analyzer.
+var Seedpurity = &Analyzer{
+	Name: "seedpurity",
+	Doc:  "flags wall clocks, pids and non-seed-derived randomness inside the deterministic packages",
+	Run:  runSeedpurity,
+}
+
+// deterministicPkgs are the packages whose outputs feed golden reports
+// and fabric digests. internal/march covers its subpackages (cache,
+// branch, mem); the two cmd entries are the fabric's OS-process surface,
+// where stray ambient state would corrupt digested bytes.
+var deterministicPkgs = []string{
+	"repro",
+	"repro/internal/march",
+	"repro/internal/core",
+	"repro/internal/pipeline",
+	"repro/internal/fabric",
+	"repro/internal/nn",
+	"repro/internal/attack",
+	"repro/internal/archid",
+	"repro/internal/topo",
+	"repro/cmd/audit-server",
+	"repro/cmd/shardworker",
+}
+
+// inDeterministicScope reports whether the pass's package is covered.
+func inDeterministicScope(pass *Pass) bool {
+	if pass.ExplicitDir {
+		return true
+	}
+	for _, p := range deterministicPkgs {
+		if pathIn(pass.Path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runSeedpurity(pass *Pass) {
+	if !inDeterministicScope(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.Info, call, "time", "Now"), isPkgFunc(pass.Info, call, "time", "Since"):
+				pass.Reportf(call.Pos(), "wall clock in deterministic package %s: campaign bytes must not depend on time", pass.Path)
+			case isPkgFunc(pass.Info, call, "os", "Getpid"):
+				pass.Reportf(call.Pos(), "os.Getpid in deterministic package %s: campaign bytes must not depend on process identity", pass.Path)
+			case globalRandCall(pass.Info, call):
+				pass.Reportf(call.Pos(), "global math/rand source in deterministic package %s: use rand.New(rand.NewSource(seed)) with a campaign-derived seed", pass.Path)
+			case isPkgFunc(pass.Info, call, "math/rand", "NewSource") || isPkgFunc(pass.Info, call, "math/rand/v2", "NewPCG"):
+				if len(call.Args) > 0 && !allTraceable(pass.Info, call.Args) {
+					pass.Reportf(call.Pos(), "rand source seeded by %s, which is not traceable to a campaign seed (only literals, *seed* identifiers and seed-derivation calls pass)",
+						exprString(pass.Fset, call.Args[0]))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// globalRandCall reports whether the call uses math/rand's process-global
+// source (any package-level function other than the constructors).
+func globalRandCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	path := f.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	switch f.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false // constructors; their seed arguments are checked separately
+	}
+	return true
+}
+
+// allTraceable reports whether every expression derives from seeds.
+func allTraceable(info *types.Info, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if !traceableSeed(info, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// traceableSeed reports whether e is plausibly derived from a seed: a
+// constant, a *seed*-named identifier/field, a call into a seed
+// derivation helper, or arithmetic over such values.
+func traceableSeed(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		if _, isConst := info.Uses[e].(*types.Const); isConst {
+			return true
+		}
+		return seedName(e.Name)
+	case *ast.SelectorExpr:
+		if _, isConst := info.Uses[e.Sel].(*types.Const); isConst {
+			return true
+		}
+		return seedName(e.Sel.Name)
+	case *ast.UnaryExpr:
+		return traceableSeed(info, e.X)
+	case *ast.BinaryExpr:
+		return traceableSeed(info, e.X) && traceableSeed(info, e.Y)
+	case *ast.CallExpr:
+		if isConversion(info, e) {
+			return allTraceable(info, e.Args)
+		}
+		if f := calleeFunc(info, e); f != nil {
+			n := strings.ToLower(f.Name())
+			if strings.Contains(n, "seed") || strings.Contains(n, "splitmix") {
+				return true
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		return traceableSeed(info, e.X)
+	}
+	return false
+}
+
+// seedName reports whether an identifier names a seed-carrying value.
+func seedName(name string) bool {
+	n := strings.ToLower(name)
+	return strings.Contains(n, "seed") || strings.Contains(n, "domain")
+}

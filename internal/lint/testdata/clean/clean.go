@@ -1,0 +1,60 @@
+// Package clean is detlint's end-to-end pass fixture: the near-miss
+// idiom for every analyzer, all diagnostic-free. cmd/detlint's meta-test
+// runs the real binary over this directory and demands zero findings.
+package clean
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Profile is a named map type: schema for the wire.
+type Profile map[string]float64
+
+// Keys returns m's keys deterministically via the sorted-keys idiom.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Roll draws from a seed-derived source.
+func Roll(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// Wire encodes a named map type, not a bare one.
+func Wire(p Profile) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// Sum is a marked hot path that stays allocation-free.
+//
+//detlint:allocpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Bucket guards the float→int conversion against NaN and Inf.
+func Bucket(x float64) int {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return int(x)
+}
+
+// Stamp is display-only telemetry, with its reason on record.
+func Stamp() time.Time {
+	//detlint:allow seedpurity — display-only operator telemetry, never reaches campaign bytes
+	return time.Now()
+}

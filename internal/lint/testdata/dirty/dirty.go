@@ -1,0 +1,43 @@
+// Package dirty is detlint's end-to-end failure fixture: one finding per
+// analyzer plus one malformed allow directive. cmd/detlint's meta-test
+// runs the real binary over this directory and pins the exact
+// diagnostics against expected.txt.
+package dirty
+
+import (
+	"encoding/json"
+	"math/rand"
+)
+
+// Keys returns m's keys in raw iteration order.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Roll draws from the process-global source.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Wire JSON-encodes a bare map.
+func Wire(m map[string]int) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// Sum is a marked hot path that allocates.
+//
+//detlint:allocpath
+func Sum(xs []int) []int {
+	return append(xs[:0:0], xs...)
+}
+
+// Bucket converts an unguarded float, under an allow that is missing its
+// mandatory reason (itself a diagnostic, and suppressing nothing).
+func Bucket(x float64) int {
+	//detlint:allow nanconv
+	return int(x)
+}

@@ -1,0 +1,75 @@
+// Package fixture exercises the allocpath analyzer: heap-allocating
+// constructs inside functions marked //detlint:allocpath fail; unmarked
+// functions, allocation-free bodies and reasoned allows pass.
+package fixture
+
+type point struct{ x, y int }
+
+//detlint:allocpath
+func failMake(n int) []int {
+	return make([]int, n) // want "make on 0-alloc path failMake"
+}
+
+//detlint:allocpath
+func failNew() *point {
+	return new(point) // want "new on 0-alloc path failNew"
+}
+
+//detlint:allocpath
+func failAppend(xs []int, x int) []int {
+	return append(xs, x) // want "append on 0-alloc path failAppend"
+}
+
+//detlint:allocpath
+func failConvert(s string) []byte {
+	return []byte(s) // want "conversion on 0-alloc path failConvert"
+}
+
+//detlint:allocpath
+func failClosure(xs []int) func() int {
+	return func() int { return len(xs) } // want "closure on 0-alloc path failClosure"
+}
+
+//detlint:allocpath
+func failMapLit() map[string]int {
+	return map[string]int{} // want "map literal on 0-alloc path failMapLit"
+}
+
+//detlint:allocpath
+func failAddrLit() *point {
+	return &point{x: 1} // want "address of composite literal on 0-alloc path failAddrLit"
+}
+
+//detlint:allocpath
+func failConcat(a, b string) string {
+	return a + b // want "string concatenation on 0-alloc path failConcat"
+}
+
+//detlint:allocpath
+func failGo(f func()) {
+	go f() // want "goroutine launch on 0-alloc path failGo"
+}
+
+// passUnmarked allocates freely: it never opted into the gate.
+func passUnmarked(n int) []int {
+	return make([]int, n)
+}
+
+// passHot is a marked body that stays allocation-free.
+//
+//detlint:allocpath
+func passHot(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// passAllowed allocates on a marked path with its reason on record.
+//
+//detlint:allocpath
+func passAllowed(n int) []int {
+	//detlint:allow allocpath — fixture: cold-start slab, runs once per campaign
+	return make([]int, n)
+}

@@ -1,0 +1,110 @@
+// Package fixture exercises the maporder analyzer: order-dependent
+// reductions inside range-over-map loops fail; the sorted-keys idiom,
+// commuting reductions and reasoned allows pass.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// failAppend collects map keys without ever sorting them.
+func failAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys depends on map iteration order"
+	}
+	return keys
+}
+
+// failPrint emits formatted output inside the range.
+func failPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf output depends on map iteration order"
+	}
+}
+
+// failWrite writes through an io.Writer method inside the range.
+func failWrite(m map[string]int, w *os.File) {
+	for k := range m {
+		w.WriteString(k) // want "WriteString output depends on map iteration order"
+	}
+}
+
+// failFloatAccum accumulates a float sum across iterations.
+func failFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into sum depends on map iteration order"
+	}
+	return sum
+}
+
+// failFloatAssign spells the same accumulation as x = x + v.
+func failFloatAssign(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want "floating-point accumulation into sum depends on map iteration order"
+	}
+	return sum
+}
+
+// passSorted is the sorted-keys idiom: the collected slice is sorted
+// before anything observes its order.
+func passSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// passSortSlice sorts via sort.Slice instead of sort.Strings.
+func passSortSlice(m map[string]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// passIntSum: integer accumulation commutes exactly.
+func passIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// passKeyedStore: stores keyed by the range variable commute.
+func passKeyedStore(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// passLocalAppend: the appended slice is per-iteration local, so order
+// cannot outlive the loop.
+func passLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// passAllowed carries a reasoned allow for deliberate order dependence.
+func passAllowed(m map[string]int) {
+	for k := range m {
+		//detlint:allow maporder — fixture: order dependence is deliberate here
+		fmt.Println(k)
+	}
+}

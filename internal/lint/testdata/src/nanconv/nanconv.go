@@ -1,0 +1,47 @@
+// Package fixture exercises the nanconv analyzer: unguarded int(float)
+// conversions fail; constant operands, IsNaN/IsInf-guarded functions and
+// reasoned allows pass. The directory is loaded explicitly, so the
+// analyzer treats it as a report-feeding numeric package.
+package fixture
+
+import "math"
+
+// failPlain converts an arbitrary float with no guard in sight.
+func failPlain(x float64) int {
+	return int(x) // want "int conversion of float x"
+}
+
+// failExpr converts a ratio that can be NaN (0/0).
+func failExpr(a, b float64) int64 {
+	return int64(a / b) // want "int conversion of float"
+}
+
+// failRounded: Floor preserves NaN, so rounding is not a guard.
+func failRounded(x float64) int {
+	return int(math.Floor(x)) // want "int conversion of float"
+}
+
+// passConst: compile-time constants cannot be NaN.
+func passConst() int {
+	return int(2.0)
+}
+
+// passGuarded rejects NaN/Inf before converting.
+func passGuarded(x float64) int {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return int(x)
+}
+
+// passAllowed documents why the value cannot be NaN.
+func passAllowed(x float64) int {
+	//detlint:allow nanconv — fixture: x is a bounded ratio by construction
+	return int(x)
+}
+
+// passIntToInt: integer-to-integer conversions are out of scope.
+func passIntToInt(x int32) int { return int(x) }
+
+// passFloatToFloat: float-to-float conversions are out of scope.
+func passFloatToFloat(x float64) float32 { return float32(x) }

@@ -1,0 +1,59 @@
+// Package fixture exercises the seedpurity analyzer: wall clocks, pids
+// and non-seed-derived randomness fail; seed-traceable sources and
+// reasoned allows pass. The directory is loaded explicitly, so the
+// analyzer treats it as a deterministic package.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+const baseSeed = 42
+
+// failClock reads the wall clock.
+func failClock() int64 {
+	return time.Now().UnixNano() // want "wall clock in deterministic package"
+}
+
+// failSince measures elapsed wall time.
+func failSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock in deterministic package"
+}
+
+// failPid reads process identity.
+func failPid() int {
+	return os.Getpid() // want "os.Getpid in deterministic package"
+}
+
+// failGlobalRand draws from the process-global source.
+func failGlobalRand() int {
+	return rand.Intn(10) // want "global math/rand source in deterministic package"
+}
+
+// failUntraceable seeds a source from a value with no seed lineage.
+func failUntraceable(x int64) *rand.Rand {
+	return rand.New(rand.NewSource(x)) // want "not traceable to a campaign seed"
+}
+
+// passSeeded: the argument names a seed.
+func passSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// passDerived: arithmetic over seed-named values stays traceable.
+func passDerived(shardSeed int64) *rand.Rand {
+	return rand.New(rand.NewSource(shardSeed ^ baseSeed))
+}
+
+// passConst: a literal seed is deterministic by definition.
+func passConst() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+// passAllowed carries a reasoned allow for a display-only timestamp.
+func passAllowed() time.Time {
+	//detlint:allow seedpurity — fixture: display-only timestamp, never reaches campaign bytes
+	return time.Now()
+}

@@ -1,0 +1,59 @@
+// Package fixture exercises the wiredigest analyzer: JSON encoding of
+// bare (unnamed) map types fails, directly or through a local forwarding
+// helper; named map types and structs are schema and pass.
+package fixture
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Profile is a named map type: schema, passes.
+type Profile map[string]float64
+
+// result is a struct schema, passes.
+type result struct {
+	Name string `json:"name"`
+}
+
+// failMarshal encodes a bare map directly.
+func failMarshal(m map[string]int) ([]byte, error) {
+	return json.Marshal(m) // want "bare map m encoded as JSON"
+}
+
+// failIndent encodes a bare map literal.
+func failIndent() ([]byte, error) {
+	return json.MarshalIndent(map[string]any{"k": 1}, "", "  ") // want "encoded as JSON outside the canonical wire layer"
+}
+
+// failEncoder streams a bare map through a json.Encoder.
+func failEncoder(enc *json.Encoder, m map[string][]int) error {
+	return enc.Encode(m) // want "bare map m encoded as JSON"
+}
+
+// failViaSink forwards a bare map through the local writeJSON helper.
+func failViaSink(w http.ResponseWriter, m map[string]string) {
+	writeJSON(w, 200, m) // want "bare map m encoded as JSON"
+}
+
+// passNamed: named map types carry their schema in the type name.
+func passNamed(p Profile) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// passStruct: structs are schema.
+func passStruct(r result) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// passSinkStruct: structs pass through sinks too.
+func passSinkStruct(w http.ResponseWriter, r result) {
+	writeJSON(w, 200, r)
+}
+
+// writeJSON forwards v into a JSON encoder — the one-level indirection
+// the analyzer resolves as an encode sink.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -278,6 +278,8 @@ func (c *Cache) index(addr mem.Addr) (set uint64, tag uint64) {
 
 // Access simulates one access. write marks the line dirty. It returns true
 // on hit. Misses install the line, evicting per the policy.
+//
+//detlint:allocpath
 func (c *Cache) Access(addr mem.Addr, write bool) bool {
 	c.stats.Accesses++
 	if write {
@@ -625,6 +627,8 @@ func NewHierarchy(cfgs ...Config) (*Hierarchy, error) {
 // Access walks the hierarchy. It returns the deepest level index that
 // missed +1; 0 means an L1 hit, len(Levels) means the access went to
 // memory (a last-level miss).
+//
+//detlint:allocpath
 func (h *Hierarchy) Access(addr mem.Addr, write bool) int {
 	for i, lv := range h.Levels {
 		if lv.Access(addr, write) {

@@ -284,11 +284,15 @@ func (e *Engine) Predictor() branch.Predictor { return e.pred }
 
 // Load simulates a data load of `size` bytes at addr (split into line-sized
 // pieces) and retires one load instruction per piece.
+//
+//detlint:allocpath
 func (e *Engine) Load(addr mem.Addr, size uint64) {
 	e.access(addr, size, false)
 }
 
 // Store simulates a data store.
+//
+//detlint:allocpath
 func (e *Engine) Store(addr mem.Addr, size uint64) {
 	e.access(addr, size, true)
 }
@@ -297,6 +301,7 @@ func (e *Engine) Store(addr mem.Addr, size uint64) {
 // splitting (matches every configured hierarchy in this repo).
 const lineSize = 64
 
+//detlint:allocpath
 func (e *Engine) access(addr mem.Addr, size uint64, write bool) {
 	if size == 0 {
 		size = 1
@@ -334,6 +339,8 @@ func (e *Engine) access(addr mem.Addr, size uint64, write bool) {
 
 // missWalk resolves an L1 miss through the deeper levels, charging the
 // stall penalty of the level that finally hits (or memory).
+//
+//detlint:allocpath
 func (e *Engine) missWalk(a mem.Addr, write bool) {
 	levels := e.caches.Levels
 	for i := 1; i < len(levels); i++ {
@@ -354,15 +361,20 @@ func (e *Engine) missWalk(a mem.Addr, write bool) {
 // Load(base+i*elem, elem) calls. Elements that share a cache line are
 // replayed through the batched hit path (one lookup per line instead of
 // one per element), which is what makes streaming kernel walks cheap.
+//
+//detlint:allocpath
 func (e *Engine) LoadRange(base mem.Addr, elem uint64, count int) {
 	e.rangeAccess(base, elem, count, false)
 }
 
 // StoreRange is LoadRange for stores.
+//
+//detlint:allocpath
 func (e *Engine) StoreRange(base mem.Addr, elem uint64, count int) {
 	e.rangeAccess(base, elem, count, true)
 }
 
+//detlint:allocpath
 func (e *Engine) rangeAccess(base mem.Addr, elem uint64, count int, write bool) {
 	if elem == 0 {
 		// Zero-size accesses do not advance; replay them individually.

@@ -64,7 +64,10 @@ func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
 	}
-	if q < 0 || q > 1 {
+	// NaN slips past both range comparisons and would make pos NaN,
+	// leaving int(math.Floor(pos)) platform-defined — reject it with the
+	// other out-of-range inputs.
+	if math.IsNaN(q) || q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
 	}
 	s := append([]float64(nil), xs...)

@@ -404,3 +404,16 @@ func TestQuickHistogramConservesMass(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantileRejectsNaN(t *testing.T) {
+	// NaN slips past both `q < 0` and `q > 1` (every comparison with NaN
+	// is false) and used to reach int(math.Floor(NaN)), whose result is
+	// platform-defined — the exact class of silent cross-platform drift
+	// the byte-identity goldens cannot survive.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(xs, NaN) did not panic")
+		}
+	}()
+	Quantile([]float64{1, 2, 3}, math.NaN())
+}

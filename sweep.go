@@ -239,6 +239,7 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 		go func(cl cell) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			//detlint:allow seedpurity — wall-clock telemetry only: start feeds WallMS, which the digest and goldens exclude
 			start := time.Now()
 			rep, err := scenarios[cl.dataset].EvaluateGrouped(ctx, cl.defense, EvalConfig{
 				Classes:      cfg.Classes,
@@ -312,6 +313,7 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					return
 				}
 			}
+			//detlint:allow seedpurity — wall-clock telemetry only: elapsed time lands in WallMS, which the digest and goldens exclude
 			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, atk, arch, tp, time.Since(start))
 			grid.Results[cl.index] = res
 			if progress != nil {
