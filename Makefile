@@ -12,12 +12,12 @@
 GO ?= go
 
 # PR number stamped into the benchmark trajectory snapshot.
-BENCH_PR ?= 6
+BENCH_PR ?= 8
 BENCH_JSON ?= BENCH_PR$(BENCH_PR).json
 # Key micro/campaign benches tracked across PRs.
-BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage|BenchmarkTopoStage
+BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkClassifyBatch|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage|BenchmarkTopoStage
 
-.PHONY: all build vet lint test race bench bench-json allocgate benchsmoke fabricsmoke ci golden
+.PHONY: all build vet lint test race bench bench-json allocgate benchsmoke fabricsmoke batchsmoke ci golden
 
 all: build
 
@@ -80,10 +80,23 @@ fabricsmoke:
 	cmp $$tmp/p1.csv $$tmp/p2.csv; \
 	echo "fabricsmoke: processes=1 and processes=2 distributions are byte-identical"
 
+# Batched-collection determinism smoke: the same campaign is run through
+# the CLI at -batch 1 and -batch 8 and the raw distribution CSVs must be
+# byte-identical — per-input counter attribution inside a batched replay
+# session is exact, so batch size may change wall-clock only.
+batchsmoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf '"$$tmp" EXIT; \
+	$(GO) run ./cmd/evaluate -dataset mnist -classes 1,2 -runs 30 -workers 2 -seed 17 \
+		-batch 1 -csv $$tmp/b1.csv >/dev/null; \
+	$(GO) run ./cmd/evaluate -dataset mnist -classes 1,2 -runs 30 -workers 2 -seed 17 \
+		-batch 8 -csv $$tmp/b8.csv >/dev/null; \
+	cmp $$tmp/b1.csv $$tmp/b8.csv; \
+	echo "batchsmoke: batch=1 and batch=8 distributions are byte-identical"
+
 # Regenerate all four golden reports (end-to-end evaluation, attack
 # stage, architecture fingerprinting, topology recovery) after a
 # *deliberate* behavior change (review the diff before committing it).
 golden:
 	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport|TestTopoGoldenReport' -update .
 
-ci: vet build lint race allocgate benchsmoke fabricsmoke bench
+ci: vet build lint race allocgate benchsmoke fabricsmoke batchsmoke bench

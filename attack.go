@@ -58,6 +58,10 @@ type AttackConfig struct {
 	Processes int
 	// Fabric configures the fabric when Processes ≥ 1.
 	Fabric FabricConfig
+	// Batch groups a shard's measured runs into batched replay sessions
+	// of this size (core.Config.Batch). Attribution is exact, so results
+	// are byte-identical at any batch size. Default 1.
+	Batch int
 }
 
 func (c AttackConfig) withDefaults() AttackConfig {
@@ -123,6 +127,7 @@ func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg At
 		ev, err := core.NewEvaluator(core.Config{
 			Events:       cfg.Events[lo:hi],
 			RunsPerClass: total,
+			Batch:        cfg.Batch,
 		})
 		if err != nil {
 			return nil, err
@@ -172,6 +177,7 @@ func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg At
 				RunsPerClass: total,
 				RootSeed:     core.DeriveSeed(seed, g, 2),
 				ShardRuns:    cfg.ShardRuns,
+				Batch:        cfg.Batch,
 			}
 			part, err = collectFabric(ctx, p, pools, spec, cfg.Processes, cfg.Fabric)
 		} else {

@@ -45,6 +45,7 @@ func main() {
 		events  = flag.String("events", "base", "event set (base, fig2b, extended) or comma-separated event list")
 		workers = flag.Int("workers", 0, "pipeline workers; 0 = legacy sequential path, -1 = GOMAXPROCS")
 		seed    = flag.Int64("seed", 0, "pipeline root seed for per-shard RNG derivation; 0 = scenario seed")
+		batch   = flag.Int("batch", 1, "inputs classified per batched replay session; attribution is exact, so any batch size reproduces -batch 1 byte-for-byte")
 
 		processes = flag.Int("processes", 0, "shardworker OS processes via the distributed audit fabric; 0 = in-process")
 		workerBin = flag.String("worker-bin", "", "shardworker binary for -processes (default $REPRO_SHARDWORKER)")
@@ -94,7 +95,7 @@ func main() {
 
 	evalCfg := repro.EvalConfig{
 		Classes: cls, Events: evs, RunsPerClass: *runs, Alpha: *alpha,
-		Workers: nw, Seed: *seed,
+		Workers: nw, Seed: *seed, Batch: *batch,
 		Processes: *processes,
 		Fabric:    repro.FabricConfig{WorkerBin: *workerBin, Journal: *journal, TCP: *fabricTCP},
 	}

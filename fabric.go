@@ -138,10 +138,14 @@ type WorkerSpec struct {
 	Session int `json:"session"`
 
 	// Report/attack sessions: input classes, run budget and the session's
-	// already-derived pipeline root seed.
+	// already-derived pipeline root seed. Batch is the measured-batch size
+	// (core.Config.Batch) — attribution is exact at any value, but it is
+	// part of the spec so the campaign digest records how the session was
+	// executed.
 	Classes      []int `json:"classes,omitempty"`
 	RunsPerClass int   `json:"runs_per_class,omitempty"`
 	RootSeed     int64 `json:"root_seed,omitempty"`
+	Batch        int   `json:"batch,omitempty"`
 
 	// ArchID/topo sessions: the campaign root seed (victim weights derive
 	// from it) and the stage budgets.
@@ -223,6 +227,7 @@ func NewWorkerRunner(ctx context.Context, raw []byte) (fabric.Runner, error) {
 		ev, err := core.NewEvaluator(core.Config{
 			Events:       events,
 			RunsPerClass: spec.RunsPerClass,
+			Batch:        spec.Batch,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+// collectWithBatch runs one 7-run shard at the given batch size on a
+// fresh target (identical seed) and returns both collection forms.
+func collectWithBatch(t *testing.T, batch int) (*Distributions, [][]float64) {
+	t.Helper()
+	const runs = 7
+	target := buildTarget(t, instrument.Options{SparsitySkip: true, Runtime: instrument.DefaultRuntime()}, 5)
+	ev, err := NewEvaluator(Config{RunsPerClass: runs, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := classImages(0, 3, 11)
+	sh := Shard{Index: 0, Class: 0, Pool: pool, Start: 0, Count: runs, Seed: 1}
+	d, err := ev.CollectShard(context.Background(), target, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Profiles path on its own fresh target, same discipline.
+	target2 := buildTarget(t, instrument.Options{SparsitySkip: true, Runtime: instrument.DefaultRuntime()}, 5)
+	profs, err := ev.CollectShardProfiles(context.Background(), target2, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != runs {
+		t.Fatalf("batch=%d: %d profiles, want %d", batch, len(profs), runs)
+	}
+	vecs := make([][]float64, len(profs))
+	for i, p := range profs {
+		vecs[i] = p.Vector(ev.Config().Events)
+	}
+	return d, vecs
+}
+
+// TestCollectShardBatchInvariance: the shard collectors must produce
+// bit-identical observations at every batch size, including a tail batch
+// (7 runs at batch 3 → 3+3+1) and a batch larger than the shard.
+func TestCollectShardBatchInvariance(t *testing.T) {
+	refD, refV := collectWithBatch(t, 1)
+	for _, batch := range []int{3, 4, 16} {
+		d, v := collectWithBatch(t, batch)
+		if !reflect.DeepEqual(d.Samples, refD.Samples) {
+			t.Errorf("batch=%d: CollectShard samples diverge from batch=1:\n%v\nvs\n%v", batch, d.Samples, refD.Samples)
+		}
+		if !reflect.DeepEqual(v, refV) {
+			t.Errorf("batch=%d: CollectShardProfiles diverge from batch=1", batch)
+		}
+	}
+}

@@ -114,6 +114,24 @@ func (ev *Evaluator) prepareShard(ctx context.Context, target Target, sh Shard) 
 	// Fresh micro-architectural state per shard, then the standard
 	// measure-after-warm-up discipline on this shard's own class.
 	target.Engine().ColdReset()
+	if bt, ok := target.(BatchTarget); ok && ev.cfg.Batch > 1 && ev.cfg.WarmupRuns > 0 {
+		// Batched sessions warm up through the batched entry point: one
+		// validated replay session covering all warm-up runs. The batched
+		// classifier replays the exact sequential access sequence, so the
+		// post-warm-up state is bit-identical to the loop below.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		imgs := make([]*tensor.Tensor, ev.cfg.WarmupRuns)
+		preds := make([]int, ev.cfg.WarmupRuns)
+		for i := range imgs {
+			imgs[i] = sh.Pool[i%len(sh.Pool)]
+		}
+		if err := bt.ClassifyBatchInto(preds, imgs); err != nil {
+			return nil, fmt.Errorf("core: warm-up classification: %w", err)
+		}
+		return pmu, nil
+	}
 	for i := 0; i < ev.cfg.WarmupRuns; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -125,6 +143,39 @@ func (ev *Evaluator) prepareShard(ctx context.Context, target Target, sh Shard) 
 	return pmu, nil
 }
 
+// shardBatch is the per-shard measured-batch scaffolding shared by
+// CollectShard and CollectShardProfiles: the image window of the current
+// batch plus the per-input classify trampoline handed to
+// hpc.MeasureBatchInto.
+type shardBatch struct {
+	target Target
+	imgs   []*tensor.Tensor
+	err    error
+}
+
+// work classifies batch member i, retaining the first failure. Remaining
+// members of a failed batch are skipped — the collector aborts on the
+// retained error before reading any of the batch's profiles.
+func (b *shardBatch) work(i int) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.target.Classify(b.imgs[i])
+}
+
+// load fills the image window for the batch starting at run (global run
+// index), returning the batch length.
+func (b *shardBatch) load(sh Shard, run int) int {
+	n := sh.Start + sh.Count - run
+	if n > len(b.imgs) {
+		n = len(b.imgs)
+	}
+	for i := 0; i < n; i++ {
+		b.imgs[i] = sh.Pool[(run+i)%len(sh.Pool)]
+	}
+	return n
+}
+
 // CollectShardProfiles executes one shard on target and returns the raw
 // per-run HPC profiles in run order — the labelled observations the attack
 // stage fits and scores on. It cold-resets the simulated core (so
@@ -132,31 +183,34 @@ func (ev *Evaluator) prepareShard(ctx context.Context, target Target, sh Shard) 
 // configured warm-up on the shard's own pool, then measures Count
 // classifications starting at run index Start. Run index r always maps to
 // Pool[r%len(Pool)], so the image sequence is independent of the sharding
-// granularity. The context is checked between classifications.
+// granularity. Runs are measured in batches of Config.Batch — one replay
+// session per batch, per-run profiles recovered as counter-snapshot
+// deltas — which changes wall-clock only: every batch size yields
+// bit-identical profiles. The context is checked between batches.
 func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh Shard) ([]hpc.Profile, error) {
 	pmu, err := ev.prepareShard(ctx, target, sh)
 	if err != nil {
 		return nil, err
 	}
+	batch := ev.cfg.Batch
 	profs := make([]hpc.Profile, 0, sh.Count)
-	var (
-		img         *tensor.Tensor
-		classifyErr error
-	)
-	work := func() { _, classifyErr = target.Classify(img) }
-	for run := sh.Start; run < sh.Start+sh.Count; run++ {
+	scratch := make([]hpc.Profile, batch)
+	b := shardBatch{target: target, imgs: make([]*tensor.Tensor, batch)}
+	for run := sh.Start; run < sh.Start+sh.Count; run += batch {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		img = sh.Pool[run%len(sh.Pool)]
-		prof := make(hpc.Profile, len(ev.cfg.Events))
-		if err := pmu.MeasureOnceInto(prof, work); err != nil {
+		n := b.load(sh, run)
+		for i := 0; i < n; i++ {
+			scratch[i] = make(hpc.Profile, len(ev.cfg.Events))
+		}
+		if err := pmu.MeasureBatchInto(scratch[:n], b.work); err != nil {
 			return nil, err
 		}
-		if classifyErr != nil {
-			return nil, fmt.Errorf("core: classification failed: %w", classifyErr)
+		if b.err != nil {
+			return nil, fmt.Errorf("core: classification failed: %w", b.err)
 		}
-		profs = append(profs, prof)
+		profs = append(profs, scratch[:n]...)
 	}
 	return profs, nil
 }
@@ -165,8 +219,9 @@ func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh
 // the collection discipline) and writes the observations directly into
 // per-event distributions — the shape the hypothesis-test stage consumes.
 // Unlike CollectShardProfiles it retains no per-run profiles: the shard's
-// worker reuses a single preallocated Profile and the preallocated sample
-// buffers, so the measure loop performs no allocations.
+// worker reuses Config.Batch preallocated Profiles and the preallocated
+// sample buffers, so the measure loop performs no allocations at any
+// batch size.
 func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) (*Distributions, error) {
 	pmu, err := ev.prepareShard(ctx, target, sh)
 	if err != nil {
@@ -180,25 +235,27 @@ func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) 
 	for _, e := range ev.cfg.Events {
 		d.Samples[e] = map[int][]float64{sh.Class: make([]float64, sh.Count)}
 	}
-	prof := make(hpc.Profile, len(ev.cfg.Events))
-	var (
-		img         *tensor.Tensor
-		classifyErr error
-	)
-	work := func() { _, classifyErr = target.Classify(img) }
-	for run := sh.Start; run < sh.Start+sh.Count; run++ {
+	batch := ev.cfg.Batch
+	profs := make([]hpc.Profile, batch)
+	for i := range profs {
+		profs[i] = make(hpc.Profile, len(ev.cfg.Events))
+	}
+	b := shardBatch{target: target, imgs: make([]*tensor.Tensor, batch)}
+	for run := sh.Start; run < sh.Start+sh.Count; run += batch {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		img = sh.Pool[run%len(sh.Pool)]
-		if err := pmu.MeasureOnceInto(prof, work); err != nil {
+		n := b.load(sh, run)
+		if err := pmu.MeasureBatchInto(profs[:n], b.work); err != nil {
 			return nil, err
 		}
-		if classifyErr != nil {
-			return nil, fmt.Errorf("core: classification failed: %w", classifyErr)
+		if b.err != nil {
+			return nil, fmt.Errorf("core: classification failed: %w", b.err)
 		}
-		for _, e := range ev.cfg.Events {
-			d.Samples[e][sh.Class][run-sh.Start] = prof.Get(e)
+		for i := 0; i < n; i++ {
+			for _, e := range ev.cfg.Events {
+				d.Samples[e][sh.Class][run+i-sh.Start] = profs[i].Get(e)
+			}
 		}
 	}
 	return d, nil

@@ -1,0 +1,188 @@
+package defense
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/hpc"
+	"repro/internal/instrument"
+	"repro/internal/march"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// batchInvarianceEvents is the profile the property test compares; cache
+// misses and branches are the paper's base pair.
+var batchInvarianceEvents = []march.Event{march.EvCacheMisses, march.EvBranches}
+
+func batchInvarianceImages(n int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	imgs := make([]*tensor.Tensor, n)
+	for k := range imgs {
+		img := tensor.New(12, 12, 1)
+		for i := range img.Data {
+			if rng.Float64() < 0.5 {
+				img.Data[i] = rng.Float32()
+			}
+		}
+		imgs[k] = img
+	}
+	return imgs
+}
+
+// TestBatchInvarianceAcrossZooAndLevels is the batched-execution
+// byte-invariance property: for every architecture in the default zoo at
+// every defense level, measuring N inputs as one batch of N, as N batches
+// of 1, or as N sequential MeasureOnceInto intervals must produce
+// bit-identical per-input profiles — including the defenses whose
+// per-input actions are RNG-driven (noise injection) or applied after
+// every inference (padded envelope). A fresh engine/target per variant
+// keeps the noise, jitter and defense RNG streams aligned; any
+// batch-order divergence in the replay or the measurement would surface
+// as a float mismatch here.
+func TestBatchInvarianceAcrossZooAndLevels(t *testing.T) {
+	zoo, err := nn.DefaultZoo(12, 12, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := zoo.Specs()
+	nets := make([]*nn.Network, len(specs))
+	for _, s := range specs {
+		if nets[s.ID], err = zoo.Build(s.ID, int64(300+s.ID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	imgs := batchInvarianceImages(4, 41)
+	env, err := NewEnvelope(nets, imgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newTarget := func(t *testing.T, net *nn.Network, idx int, level Level) *Hardened {
+		t.Helper()
+		eng, err := march.NewEngine(march.Config{
+			Hierarchy: instrument.SimHierarchy(),
+			Noise:     march.DefaultNoise(77),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := New(net, eng, Config{
+			Level:         level,
+			Seed:          13,
+			Runtime:       instrument.DefaultRuntime(),
+			Envelope:      env,
+			EnvelopeIndex: idx,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	newPMU := func(t *testing.T, h *Hardened) *hpc.PMU {
+		t.Helper()
+		pmu, err := hpc.NewPMU(h.Engine(), hpc.DefaultCounters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pmu.Program(batchInvarianceEvents...); err != nil {
+			t.Fatal(err)
+		}
+		return pmu
+	}
+
+	levels := []Level{Baseline, DenseExecution, ConstantTime, NoiseInjection, PaddedEnvelope}
+	for _, s := range specs {
+		for _, level := range levels {
+			s, level := s, level
+			t.Run(s.Name+"/"+level.String(), func(t *testing.T) {
+				// Reference: N sequential single-run measure intervals.
+				seqT := newTarget(t, nets[s.ID], s.ID, level)
+				seqPMU := newPMU(t, seqT)
+				seqProfs := make([]hpc.Profile, len(imgs))
+				seqPreds := make([]int, len(imgs))
+				for i, img := range imgs {
+					img := img
+					seqProfs[i] = make(hpc.Profile, len(batchInvarianceEvents))
+					var classifyErr error
+					work := func() { seqPreds[i], classifyErr = seqT.Classify(img) }
+					if err := seqPMU.MeasureOnceInto(seqProfs[i], work); err != nil {
+						t.Fatal(err)
+					}
+					if classifyErr != nil {
+						t.Fatal(classifyErr)
+					}
+				}
+
+				// One batch of N.
+				batT := newTarget(t, nets[s.ID], s.ID, level)
+				batPMU := newPMU(t, batT)
+				batProfs := make([]hpc.Profile, len(imgs))
+				for i := range batProfs {
+					batProfs[i] = make(hpc.Profile, len(batchInvarianceEvents))
+				}
+				batPreds := make([]int, len(imgs))
+				var batErr error
+				if err := batPMU.MeasureBatchInto(batProfs, func(i int) {
+					if batErr == nil {
+						batPreds[i], batErr = batT.Classify(imgs[i])
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if batErr != nil {
+					t.Fatal(batErr)
+				}
+
+				// N batches of 1.
+				oneT := newTarget(t, nets[s.ID], s.ID, level)
+				onePMU := newPMU(t, oneT)
+				oneProfs := make([]hpc.Profile, len(imgs))
+				onePreds := make([]int, len(imgs))
+				for i := range imgs {
+					i := i
+					oneProfs[i] = make(hpc.Profile, len(batchInvarianceEvents))
+					var oneErr error
+					if err := onePMU.MeasureBatchInto(oneProfs[i:i+1], func(int) {
+						onePreds[i], oneErr = oneT.Classify(imgs[i])
+					}); err != nil {
+						t.Fatal(err)
+					}
+					if oneErr != nil {
+						t.Fatal(oneErr)
+					}
+				}
+
+				if !reflect.DeepEqual(batPreds, seqPreds) || !reflect.DeepEqual(onePreds, seqPreds) {
+					t.Fatalf("predictions diverge: sequential %v, batch=4 %v, batch=1 %v", seqPreds, batPreds, onePreds)
+				}
+				for i := range imgs {
+					for _, e := range batchInvarianceEvents {
+						if batProfs[i][e] != seqProfs[i][e] {
+							t.Errorf("input %d %s: batch=4 %v, sequential %v", i, e, batProfs[i][e], seqProfs[i][e])
+						}
+						if oneProfs[i][e] != seqProfs[i][e] {
+							t.Errorf("input %d %s: batch=1 %v, sequential %v", i, e, oneProfs[i][e], seqProfs[i][e])
+						}
+					}
+				}
+
+				// Hardened.ClassifyBatch itself: same predictions, and the
+				// final counter state (pads, noise sweeps and jitter
+				// included) matches the sequential target's bit-for-bit.
+				apiT := newTarget(t, nets[s.ID], s.ID, level)
+				apiPreds, err := apiT.ClassifyBatch(imgs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(apiPreds, seqPreds) {
+					t.Fatalf("ClassifyBatch predictions %v, sequential %v", apiPreds, seqPreds)
+				}
+				if got, want := apiT.Engine().Counts(), seqT.Engine().Counts(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("ClassifyBatch final counts diverge from sequential:\nbatch      %+v\nsequential %+v", got, want)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ValidateBatch checks a batch of inputs before any simulated activity:
+// the batch must be non-empty and every input must be non-nil with the
+// network's input volume. Mixed-shape batches are rejected with the index
+// of the first offending input, so a bad batch never leaves a partially
+// executed replay in the counters.
+func (c *Classifier) ValidateBatch(imgs []*tensor.Tensor) error {
+	if len(imgs) == 0 {
+		return fmt.Errorf("instrument: empty batch")
+	}
+	want := tensor.Volume(c.net.InShape)
+	for i, img := range imgs {
+		if img == nil {
+			return fmt.Errorf("instrument: batch input %d is nil", i)
+		}
+		if img.Len() != want {
+			return fmt.Errorf("instrument: batch input %d has volume %d, want %d (mixed-shape batches are rejected)", i, img.Len(), want)
+		}
+	}
+	return nil
+}
+
+// ClassifyBatchInto classifies len(imgs) inputs back-to-back in one
+// replay session, writing the predicted class of imgs[i] into preds[i].
+// The engine, layer plans, preallocated scratch regions and the runtime
+// jitter model are set up once (at construction) and reused across the
+// whole batch, and the blocked conv/dense inner loops keep their memoized
+// replay state warm from input to input. The whole batch is validated up
+// front, before the first simulated access. Each input then replays
+// exactly the sequential Classify body, so the simulated access sequence
+// — and every counter derived from it — is bit-identical to calling
+// Classify len(imgs) times; per-input PMU attribution stays exact (see
+// hpc.MeasureBatchInto).
+//
+//detlint:allocpath
+func (c *Classifier) ClassifyBatchInto(preds []int, imgs []*tensor.Tensor) error {
+	if len(preds) != len(imgs) {
+		return fmt.Errorf("instrument: %d prediction slots for %d batch inputs", len(preds), len(imgs))
+	}
+	if err := c.ValidateBatch(imgs); err != nil {
+		return err
+	}
+	for i, img := range imgs {
+		pred, err := c.Classify(img)
+		if err != nil {
+			return fmt.Errorf("instrument: batch input %d: %w", i, err)
+		}
+		preds[i] = pred
+	}
+	return nil
+}
+
+// ClassifyBatch is ClassifyBatchInto allocating the prediction slice.
+func (c *Classifier) ClassifyBatch(imgs []*tensor.Tensor) ([]int, error) {
+	preds := make([]int, len(imgs))
+	if err := c.ClassifyBatchInto(preds, imgs); err != nil {
+		return nil, err
+	}
+	return preds, nil
+}

@@ -1,0 +1,145 @@
+package instrument
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/march"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func batchClassifier(t *testing.T, seed int64) *Classifier {
+	t.Helper()
+	net, err := nn.Build(nn.Arch{Name: "tiny", InH: 12, InW: 12, InC: 1, Conv1: 4, Conv2: 4, Kernel: 3, Classes: 3}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := march.NewEngine(march.Config{Hierarchy: SimHierarchy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(net, eng, Options{SparsitySkip: true, Runtime: DefaultRuntime(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func batchImages(n int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	imgs := make([]*tensor.Tensor, n)
+	for k := range imgs {
+		img := tensor.New(12, 12, 1)
+		for i := range img.Data {
+			if rng.Float64() < 0.4 {
+				img.Data[i] = 0.3 + rng.Float32()*0.7
+			}
+		}
+		imgs[k] = img
+	}
+	return imgs
+}
+
+// TestClassifyBatchMatchesSequential: a batch must replay the exact
+// sequential access sequence — same predictions and the same final
+// counter state as calling Classify input by input.
+func TestClassifyBatchMatchesSequential(t *testing.T) {
+	imgs := batchImages(5, 3)
+
+	seq := batchClassifier(t, 9)
+	want := make([]int, len(imgs))
+	for i, img := range imgs {
+		cls, err := seq.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = cls
+	}
+	wantCounts := seq.Engine().Counts()
+
+	bat := batchClassifier(t, 9)
+	got, err := bat.ClassifyBatch(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch predictions %v, sequential %v", got, want)
+	}
+	if gotCounts := bat.Engine().Counts(); !reflect.DeepEqual(gotCounts, wantCounts) {
+		t.Fatalf("batch final counts diverge from sequential:\nbatch      %+v\nsequential %+v", gotCounts, wantCounts)
+	}
+}
+
+// TestClassifyBatchWarmStateAttribution: after classifying the same
+// inputs via batch or sequentially, a subsequent ClassifyWithAttribution
+// must observe byte-identical warm micro-architectural state — same
+// prediction and same per-layer counter deltas.
+func TestClassifyBatchWarmStateAttribution(t *testing.T) {
+	imgs := batchImages(4, 5)
+	probe := batchImages(1, 17)[0]
+
+	seq := batchClassifier(t, 21)
+	for _, img := range imgs {
+		if _, err := seq.Classify(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantCls, wantLayers, err := seq.ClassifyWithAttribution(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bat := batchClassifier(t, 21)
+	if _, err := bat.ClassifyBatch(imgs); err != nil {
+		t.Fatal(err)
+	}
+	gotCls, gotLayers, err := bat.ClassifyWithAttribution(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCls != wantCls {
+		t.Fatalf("attribution prediction after batch %d, after sequential %d", gotCls, wantCls)
+	}
+	if !reflect.DeepEqual(gotLayers, wantLayers) {
+		t.Fatalf("per-layer attribution diverges after batch:\nbatch      %+v\nsequential %+v", gotLayers, wantLayers)
+	}
+}
+
+// TestClassifyBatchRejectsBadBatches: validation happens before any
+// simulated access, with actionable errors.
+func TestClassifyBatchRejectsBadBatches(t *testing.T) {
+	c := batchClassifier(t, 1)
+	before := c.Engine().Counts()
+
+	if _, err := c.ClassifyBatch(nil); err == nil || !strings.Contains(err.Error(), "empty batch") {
+		t.Fatalf("empty batch error = %v", err)
+	}
+	if _, err := c.ClassifyBatch([]*tensor.Tensor{}); err == nil || !strings.Contains(err.Error(), "empty batch") {
+		t.Fatalf("zero-length batch error = %v", err)
+	}
+
+	mixed := batchImages(3, 2)
+	mixed[1] = tensor.New(28, 28, 1)
+	_, err := c.ClassifyBatch(mixed)
+	if err == nil || !strings.Contains(err.Error(), "mixed-shape") || !strings.Contains(err.Error(), "input 1") {
+		t.Fatalf("mixed-shape batch error = %v", err)
+	}
+
+	withNil := batchImages(2, 2)
+	withNil[1] = nil
+	if _, err := c.ClassifyBatch(withNil); err == nil || !strings.Contains(err.Error(), "input 1 is nil") {
+		t.Fatalf("nil input error = %v", err)
+	}
+
+	if err := c.ClassifyBatchInto(make([]int, 1), batchImages(2, 2)); err == nil || !strings.Contains(err.Error(), "prediction slots") {
+		t.Fatalf("length mismatch error = %v", err)
+	}
+
+	// None of the rejected batches may have touched the engine.
+	if after := c.Engine().Counts(); !reflect.DeepEqual(after, before) {
+		t.Fatalf("rejected batches perturbed counters:\nbefore %+v\nafter  %+v", before, after)
+	}
+}

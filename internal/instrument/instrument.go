@@ -50,7 +50,6 @@ package instrument
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/march"
@@ -377,6 +376,14 @@ func (c *Classifier) convLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Reg
 	total := g.InH * g.InW * g.InC
 	eng.PredictableBranches(uint64(total))
 
+	// Zero-test branches at p.pc accumulate into same-direction runs and
+	// flush on a direction flip (or at layer end): branches commute with
+	// memory events, and a direction run replays through the predictor
+	// exactly as the individual records, so long nonzero stretches reach
+	// the predictor's fixpoint instead of paying per-element cost.
+	var brN uint64
+	brTaken := false
+
 	// (iy, ix, ic) track inIdx incrementally; zero-runs re-derive them once
 	// at the run end instead of dividing per element.
 	iy, ix, ic := 0, 0, 0
@@ -392,9 +399,12 @@ func (c *Classifier) convLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Reg
 			}
 			n := runEnd - inIdx
 			eng.LoadRange(inRegion.Base+mem.Addr(inIdx*4), 4, n)
-			for j := 0; j < n; j++ {
-				eng.Branch(p.pc, true)
+			if brN > 0 && !brTaken {
+				eng.BranchRun(p.pc, false, brN)
+				brN = 0
 			}
+			brTaken = true
+			brN += uint64(n)
 			inIdx = runEnd
 			if inIdx < total {
 				ic = inIdx % g.InC
@@ -406,52 +416,84 @@ func (c *Classifier) convLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Reg
 		}
 		eng.Load(inRegion.Base+mem.Addr(inIdx*4), 4)
 		if !ct {
-			eng.Branch(p.pc, v == 0)
+			if brN > 0 && brTaken != (v == 0) {
+				eng.BranchRun(p.pc, brTaken, brN)
+				brN = 0
+			}
+			brTaken = v == 0
+			brN++
 		}
 		// Scatter this input into every output it feeds. The row accesses
 		// stay in exact emission order (cache state depends on it); the
 		// pure-counter ops (ALU work, loop back-edges) commute with
 		// everything and are flushed once per element.
 		positions := uint64(0)
-		stride1 := g.Stride == 1
-		for ky := 0; ky < g.K; ky++ {
-			oy := iy + g.Pad - ky
-			if oy < 0 {
-				continue
+		if g.Stride == 1 {
+			// Unit stride: the valid (ky, kx) windows are the contiguous
+			// ranges with oy = iy+Pad-ky ∈ [0, oh) and ox = ix+Pad-kx ∈
+			// [0, ow), so the bounds tests hoist out of the position loops.
+			kyLo, kyHi := iy+g.Pad-oh+1, iy+g.Pad
+			if kyLo < 0 {
+				kyLo = 0
 			}
-			if !stride1 {
-				if oy%g.Stride != 0 {
+			if kyHi > g.K-1 {
+				kyHi = g.K - 1
+			}
+			kxLo, kxHi := ix+g.Pad-ow+1, ix+g.Pad
+			if kxLo < 0 {
+				kxLo = 0
+			}
+			if kxHi > g.K-1 {
+				kxHi = g.K - 1
+			}
+			for ky := kyLo; ky <= kyHi; ky++ {
+				oy := iy + g.Pad - ky
+				wRow := ((ky*g.K+kxLo)*g.InC + ic) * oc
+				oRow := (oy*ow + ix + g.Pad - kxLo) * oc
+				eng.MacSpan(p.wRegion.Base+mem.Addr(wRow*4), outRegion.Base+mem.Addr(oRow*4),
+					uint64(g.InC*oc)*4, rowBytes, kxHi-kxLo+1)
+				for kx := kxLo; kx <= kxHi; kx++ {
+					orow := out.Data[oRow : oRow+oc]
+					frow := filt[wRow : wRow+oc]
+					_ = orow[len(frow)-1]
+					for j, f := range frow {
+						orow[j] += v * f
+					}
+					wRow += g.InC * oc
+					oRow -= oc
+				}
+			}
+			if kyHi >= kyLo && kxHi >= kxLo {
+				positions = uint64(kyHi-kyLo+1) * uint64(kxHi-kxLo+1)
+			}
+		} else {
+			for ky := 0; ky < g.K; ky++ {
+				oy := iy + g.Pad - ky
+				if oy < 0 || oy%g.Stride != 0 {
 					continue
 				}
 				oy /= g.Stride
-			}
-			if oy >= oh {
-				continue
-			}
-			for kx := 0; kx < g.K; kx++ {
-				ox := ix + g.Pad - kx
-				if ox < 0 {
+				if oy >= oh {
 					continue
 				}
-				if !stride1 {
-					if ox%g.Stride != 0 {
+				for kx := 0; kx < g.K; kx++ {
+					ox := ix + g.Pad - kx
+					if ox < 0 || ox%g.Stride != 0 {
 						continue
 					}
 					ox /= g.Stride
-				}
-				if ox >= ow {
-					continue
-				}
-				wRow := ((ky*g.K+kx)*g.InC + ic) * oc
-				oRow := (oy*ow + ox) * oc
-				eng.Load(p.wRegion.Base+mem.Addr(wRow*4), rowBytes)
-				eng.Load(outRegion.Base+mem.Addr(oRow*4), rowBytes)
-				eng.Store(outRegion.Base+mem.Addr(oRow*4), rowBytes)
-				positions++
-				orow := out.Data[oRow : oRow+oc]
-				frow := filt[wRow : wRow+oc]
-				for j, f := range frow {
-					orow[j] += v * f
+					if ox >= ow {
+						continue
+					}
+					wRow := ((ky*g.K+kx)*g.InC + ic) * oc
+					oRow := (oy*ow + ox) * oc
+					eng.MacRow(p.wRegion.Base+mem.Addr(wRow*4), outRegion.Base+mem.Addr(oRow*4), rowBytes)
+					positions++
+					orow := out.Data[oRow : oRow+oc]
+					frow := filt[wRow : wRow+oc]
+					for j, f := range frow {
+						orow[j] += v * f
+					}
 				}
 			}
 		}
@@ -468,14 +510,16 @@ func (c *Classifier) convLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Reg
 			}
 		}
 	}
-	// Bias pass: one streaming walk over the output.
+	if brN > 0 {
+		eng.BranchRun(p.pc, brTaken, brN)
+	}
+	// Bias pass: one streaming read-modify-write walk over the output. The
+	// per-pixel Ops commute with memory events and flush as one sum.
 	bias := p.conv.Bias.Data
 	eng.Load(p.bRegion.Base, p.bRegion.Size)
+	eng.LoadStoreRange(outRegion.Base, rowBytes, oh*ow)
+	eng.Ops(uint64(oh * ow * oc))
 	for i := 0; i < oh*ow; i++ {
-		off := mem.Addr(i * oc * 4)
-		eng.Load(outRegion.Base+off, rowBytes)
-		eng.Store(outRegion.Base+off, rowBytes)
-		eng.Ops(uint64(oc))
 		row := out.Data[i*oc : (i+1)*oc]
 		for j := range row {
 			row[j] += bias[j]
@@ -495,6 +539,11 @@ func (c *Classifier) reluLayer(p *layerPlan, in *tensor.Tensor, region mem.Regio
 	copy(out.Data, in.Data)
 	n := len(out.Data)
 	eng.PredictableBranches(uint64(n))
+	// Sign-test branches accumulate into direction runs that may span
+	// lines (branches commute with memory events; the direction sequence
+	// is preserved exactly).
+	var brN uint64
+	brTaken := false
 	for start := 0; start < n; {
 		a := region.Base + mem.Addr(start*4)
 		run := int((64 - uint64(a)%64) / 4)
@@ -512,55 +561,123 @@ func (c *Classifier) reluLayer(p *layerPlan, in *tensor.Tensor, region mem.Regio
 				}
 			}
 		} else {
-			for i := start; i < start+run; i++ {
+			// Each line's clamping stores collapse into one same-line range:
+			// cache, TLB and counter effects of a store depend only on its
+			// line and count, so emitting the line's negative-element stores
+			// as one walk from the line base is bit-identical to the
+			// per-element emission (same line, same access count).
+			negs := 0
+			for i := start; i < start+run; {
 				neg := out.Data[i] < 0
-				eng.Branch(p.pc, neg)
-				if neg {
-					eng.Store(region.Base+mem.Addr(i*4), 4)
-					out.Data[i] = 0
+				j := i + 1
+				for j < start+run && (out.Data[j] < 0) == neg {
+					j++
 				}
+				if brN > 0 && brTaken != neg {
+					eng.BranchRun(p.pc, brTaken, brN)
+					brN = 0
+				}
+				brTaken = neg
+				brN += uint64(j - i)
+				if neg {
+					negs += j - i
+					for k := i; k < j; k++ {
+						out.Data[k] = 0
+					}
+				}
+				i = j
+			}
+			if negs > 0 {
+				eng.StoreRange(a, 4, negs)
 			}
 		}
 		start += run
+	}
+	if brN > 0 {
+		eng.BranchRun(p.pc, brTaken, brN)
 	}
 	return out, region, nil
 }
 
 // poolLayer is the 2×2 max pool with data-dependent compare branches. The
-// window walk is strided, so it stays element-by-element and rides the
-// engine's same-line fast path for the in-line pairs.
+// per-channel window walk is emitted cell-grouped: for one (oy, ox)
+// window the four input cells' channel strips go out as line-granular
+// batched loads, the compare branches replay per channel in their
+// original order, and the output strip goes out as one batched store.
+// Grouping reorders only cross-line memory events whose lines all stay
+// resident for the whole window and whose last-touch order (and total
+// event count) is unchanged, so every future replacement decision — and
+// therefore every counter — matches the element-interleaved emission.
 func (c *Classifier) poolLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Region) (*tensor.Tensor, mem.Region, error) {
 	h, w, ch := p.inShape[0], p.inShape[1], p.inShape[2]
 	oh, ow := h/2, w/2
 	out := p.out
 	outRegion := p.outRegion
 	eng := c.engine
+	ct := c.opts.ConstantTime
 	eng.PredictableBranches(uint64(oh * ow * ch))
+	// Compare branches replay in per-channel emission order; consecutive
+	// same-outcome branches compress into direction runs that carry across
+	// window and channel boundaries (branch order is preserved and branches
+	// commute with memory events, so predictor state stays exact).
+	runTaken, runN := false, uint64(0)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
+			base := ((2*oy)*w + 2*ox) * ch
+			// The top two cells' strips are contiguous (base, base+ch), as
+			// are the bottom two: each pair concatenates into one range
+			// with an identical element walk.
+			eng.LoadRange(inRegion.Base+mem.Addr(base*4), 4, 2*ch)
+			eng.LoadRange(inRegion.Base+mem.Addr((base+w*ch)*4), 4, 2*ch)
+			oBase := (oy*ow + ox) * ch
+			if ct {
+				eng.Ops(uint64(8 * ch)) // branchless max, 2 per window cell
+			}
 			for cc := 0; cc < ch; cc++ {
-				best := float32(math.Inf(-1))
-				for dy := 0; dy < 2; dy++ {
-					for dx := 0; dx < 2; dx++ {
-						idx := ((2*oy+dy)*w+(2*ox+dx))*ch + cc
-						eng.Load(inRegion.Base+mem.Addr(idx*4), 4)
-						v := in.Data[idx]
-						bigger := v > best
-						if c.opts.ConstantTime {
-							eng.Ops(2) // branchless max
-						} else if dy+dx > 0 { // first element needs no compare
-							eng.Branch(p.pc, bigger)
-						}
-						if bigger {
-							best = v
-						}
+				tl := in.Data[base+cc]
+				tr := in.Data[base+ch+cc]
+				bl := in.Data[base+w*ch+cc]
+				br := in.Data[base+w*ch+ch+cc]
+				best := tl
+				if tr > best {
+					best = tr
+				}
+				b2 := bl > best
+				if b2 {
+					best = bl
+				}
+				b3 := br > best
+				if b3 {
+					best = br
+				}
+				if !ct {
+					b1 := tr > tl
+					if b1 == runTaken {
+						runN++
+					} else {
+						eng.BranchRun(p.pc, runTaken, runN)
+						runTaken, runN = b1, 1
+					}
+					if b2 == runTaken {
+						runN++
+					} else {
+						eng.BranchRun(p.pc, runTaken, runN)
+						runTaken, runN = b2, 1
+					}
+					if b3 == runTaken {
+						runN++
+					} else {
+						eng.BranchRun(p.pc, runTaken, runN)
+						runTaken, runN = b3, 1
 					}
 				}
-				oIdx := (oy*ow+ox)*ch + cc
-				out.Data[oIdx] = best
-				eng.Store(outRegion.Base+mem.Addr(oIdx*4), 4)
+				out.Data[oBase+cc] = best
 			}
+			eng.StoreRange(outRegion.Base+mem.Addr(oBase*4), 4, ch)
 		}
+	}
+	if runN > 0 {
+		eng.BranchRun(p.pc, runTaken, runN)
 	}
 	return out, outRegion, nil
 }
@@ -578,6 +695,9 @@ func (c *Classifier) denseLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Re
 	skip := c.opts.SparsitySkip && !c.opts.ConstantTime
 	ct := c.opts.ConstantTime
 	eng.PredictableBranches(uint64(d.In))
+	// Same direction-run batching of the zero-test branches as convLayer.
+	var brN uint64
+	brTaken := false
 	for i := 0; i < d.In; {
 		v := in.Data[i]
 		if v == 0 && skip {
@@ -587,15 +707,23 @@ func (c *Classifier) denseLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Re
 			}
 			n := runEnd - i
 			eng.LoadRange(inRegion.Base+mem.Addr(i*4), 4, n)
-			for j := 0; j < n; j++ {
-				eng.Branch(p.pc, true)
+			if brN > 0 && !brTaken {
+				eng.BranchRun(p.pc, false, brN)
+				brN = 0
 			}
+			brTaken = true
+			brN += uint64(n)
 			i = runEnd
 			continue
 		}
 		eng.Load(inRegion.Base+mem.Addr(i*4), 4)
 		if !ct {
-			eng.Branch(p.pc, v == 0)
+			if brN > 0 && brTaken != (v == 0) {
+				eng.BranchRun(p.pc, brTaken, brN)
+				brN = 0
+			}
+			brTaken = v == 0
+			brN++
 		}
 		eng.Load(p.wRegion.Base+mem.Addr(i*d.Out*4), rowBytes)
 		eng.Ops(uint64(2 * d.Out))
@@ -604,6 +732,9 @@ func (c *Classifier) denseLayer(p *layerPlan, in *tensor.Tensor, inRegion mem.Re
 			out.Data[j] += v * wv
 		}
 		i++
+	}
+	if brN > 0 {
+		eng.BranchRun(p.pc, brTaken, brN)
 	}
 	eng.Load(p.bRegion.Base, p.bRegion.Size)
 	eng.Store(outRegion.Base, outRegion.Size)

@@ -54,6 +54,13 @@ type Predictor interface {
 	// Record predicts the branch at pc, compares with the actual outcome,
 	// updates internal state, and returns whether the prediction was correct.
 	Record(pc uint64, taken bool) bool
+	// RecordRun replays n consecutive branches at pc with the same outcome
+	// and returns the number of mispredicts. State and counters end up
+	// exactly as n Record(pc, taken) calls would leave them; implementations
+	// iterate only until the touched state reaches a fixpoint (saturating
+	// counters and a saturated history register stop changing after a
+	// handful of identical outcomes) and account the remainder in O(1).
+	RecordRun(pc uint64, taken bool, n uint64) uint64
 	// Stats returns the counters so far.
 	Stats() Stats
 	// Reset clears both state and counters.
@@ -119,6 +126,15 @@ func (s *static) Record(_ uint64, taken bool) bool {
 	}
 	return true
 }
+func (s *static) RecordRun(_ uint64, taken bool, n uint64) uint64 {
+	s.stats.Branches += n
+	if !taken {
+		s.stats.Mispredicts += n
+		return n
+	}
+	return 0
+}
+
 func (s *static) Stats() Stats { return s.stats }
 func (s *static) Reset()       { s.stats = Stats{} }
 func (s *static) Kind() Kind   { return StaticTaken }
@@ -148,6 +164,34 @@ func (b *bimodal) Record(pc uint64, taken bool) bool {
 		return false
 	}
 	return true
+}
+
+func (b *bimodal) RecordRun(pc uint64, taken bool, n uint64) uint64 {
+	idx := (pc >> 2) & b.mask
+	var mis uint64
+	for n > 0 {
+		ctr := b.table[idx]
+		next := bump(ctr, taken)
+		if next == ctr {
+			// Saturated toward the outcome: the counter (and therefore the
+			// prediction, which now matches taken) no longer changes.
+			break
+		}
+		if (ctr >= 2) != taken {
+			mis++
+		}
+		b.table[idx] = next
+		b.stats.Branches++
+		n--
+	}
+	if n > 0 {
+		b.stats.Branches += n
+		if (b.table[idx] >= 2) != taken {
+			mis += n
+		}
+	}
+	b.stats.Mispredicts += mis
+	return mis
 }
 
 func (b *bimodal) Stats() Stats { return b.stats }
@@ -191,6 +235,38 @@ func (g *gshare) Record(pc uint64, taken bool) bool {
 		return false
 	}
 	return true
+}
+
+func (g *gshare) RecordRun(pc uint64, taken bool, n uint64) uint64 {
+	tk := b2u(taken)
+	var mis uint64
+	for n > 0 {
+		idx := g.predictIdx(pc)
+		ctr := g.table[idx]
+		next := bump(ctr, taken)
+		nh := ((g.history << 1) | tk) & g.hmask
+		if next == ctr && nh == g.history {
+			// Fixpoint: the history register is saturated (so the table
+			// index repeats) and the indexed counter is saturated toward
+			// the outcome — no further iteration changes any state.
+			break
+		}
+		if (ctr >= 2) != taken {
+			mis++
+		}
+		g.table[idx] = next
+		g.history = nh
+		g.stats.Branches++
+		n--
+	}
+	if n > 0 {
+		g.stats.Branches += n
+		if (g.table[g.predictIdx(pc)] >= 2) != taken {
+			mis += n
+		}
+	}
+	g.stats.Mispredicts += mis
+	return mis
 }
 
 func (g *gshare) Stats() Stats { return g.stats }
@@ -246,6 +322,68 @@ func (t *tournament) Record(pc uint64, taken bool) bool {
 		return false
 	}
 	return true
+}
+
+func (t *tournament) RecordRun(pc uint64, taken bool, n uint64) uint64 {
+	key := pc >> 2
+	idx := key & t.mask
+	bIdx := key & t.bim.mask
+	tk := b2u(taken)
+	// Hoist the per-pc state (fixed indices) and the gshare registers into
+	// locals for the replay loop; only the gshare counter's index moves.
+	gTab, gMask, hMask := t.gsh.table, t.gsh.mask, t.gsh.hmask
+	hist := t.gsh.history
+	bCtr := t.bim.table[bIdx]
+	cCtr := t.chooser[idx]
+	var mis, done uint64
+	for n > 0 {
+		// One exact iteration of Record's body, plus fixpoint detection.
+		gIdx := (key ^ hist) & gMask
+		gCtr := gTab[gIdx]
+		bNext := bump(bCtr, taken)
+		gNext := bump(gCtr, taken)
+		nh := ((hist << 1) | tk) & hMask
+		bPred := bCtr >= 2
+		gPred := gCtr >= 2
+		cNext := cCtr
+		if bPred != gPred {
+			cNext = bump(cCtr, taken == gPred)
+		}
+		if nh == hist && bNext == bCtr && gNext == gCtr && cNext == cCtr {
+			// Fixpoint: history saturated (index repeats), both component
+			// counters and the chooser unchanged — every remaining
+			// iteration is state-identical.
+			break
+		}
+		pred := bPred
+		if cCtr >= 2 {
+			pred = gPred
+		}
+		if pred != taken {
+			mis++
+		}
+		gTab[gIdx] = gNext
+		bCtr, cCtr, hist = bNext, cNext, nh
+		done++
+		n--
+	}
+	t.bim.table[bIdx] = bCtr
+	t.chooser[idx] = cCtr
+	t.gsh.history = hist
+	t.stats.Branches += done
+	if n > 0 {
+		t.stats.Branches += n
+		gIdx := (key ^ hist) & gMask
+		pred := bCtr >= 2
+		if cCtr >= 2 {
+			pred = gTab[gIdx] >= 2
+		}
+		if pred != taken {
+			mis += n
+		}
+	}
+	t.stats.Mispredicts += mis
+	return mis
 }
 
 func (t *tournament) Stats() Stats { return t.stats }
@@ -313,6 +451,12 @@ func (b *BTB) Lookup(pc, target uint64) bool {
 	b.misses++
 	return false
 }
+
+// HitN accounts n guaranteed BTB hits without lookups — used by the
+// engine's branch-run replay after the first lookup has installed (or
+// confirmed) the target, which makes the remaining lookups of an identical
+// run provable hits.
+func (b *BTB) HitN(n uint64) { b.hits += n }
 
 // Hits returns the number of BTB hits.
 func (b *BTB) Hits() uint64 { return b.hits }

@@ -155,12 +155,10 @@ type Cache struct {
 	hitFn    func(set uint64, way int)
 	fillFn   func(set uint64, way int)
 	victimFn func(set uint64) int
-	// memoTouch is true when a repeat hit on the last-touched way still
-	// mutates replacement state (LRU's global clock). For TreePLRU the
-	// previous touch already pointed the whole tree away from this way and
-	// no other access has touched the set since (else the memo would have
-	// moved), so the update is a proven no-op; FIFO and Random never update
-	// on hits.
+	// memoTouch is true when a repeat hit on the last-touched way must
+	// restamp recency state (LRU's global clock). TreePLRU hits instead
+	// take the mask-folded repoint (idempotent when the way was already the
+	// set's last touch); FIFO and Random never update on hits.
 	memoTouch bool
 
 	// Two-entry touched-line memo (most recent + previous). Invariant: when
@@ -231,8 +229,15 @@ func New(cfg Config) (*Cache, error) {
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Stats returns a copy of the counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a copy of the counters. Hits are derived on read
+// (accesses − misses): every access either hits or misses, so the hot
+// paths only maintain the access and miss counts and the hit count never
+// needs a third read-modify-write per event.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Hits = s.Accesses - s.Misses
+	return s
+}
 
 // ResetStats clears the counters but keeps cache contents (used between a
 // warm-up pass and a measured pass).
@@ -248,7 +253,6 @@ func (c *Cache) AddExternal(refs, misses uint64) {
 	}
 	c.stats.Accesses += refs
 	c.stats.Misses += misses
-	c.stats.Hits += refs - misses
 }
 
 // Flush invalidates all lines and clears stats.
@@ -287,13 +291,17 @@ func (c *Cache) Access(addr mem.Addr, write bool) bool {
 	}
 	line := uint64(addr) >> c.lineBits
 	if c.memoOK && line == c.memoLine {
-		// Same line as the previous touch: guaranteed resident, skip the
-		// way scan. Replacement state only needs a touch for LRU (global
-		// clock); see memoTouch.
-		c.stats.Hits++
+		// Same line as the previous Access: guaranteed resident, skip the
+		// way scan. Replacement state takes the inlined hit update; the
+		// tree-PLRU repoint is idempotent when this way was also the set's
+		// last touch, and corrective when a resolved touch (TouchResolved)
+		// moved the tree in between.
 		if c.memoTouch { // LRU: bump the global clock and restamp the way
 			c.clock++
 			c.age[c.memoIdx] = c.clock
+		} else if c.plruSet != nil {
+			w := c.memoWay
+			c.plruTree[c.memoSet] = (c.plruTree[c.memoSet] &^ c.plruClr[w]) | c.plruSet[w]
 		}
 		if write {
 			c.dirty[c.memoIdx] = true
@@ -312,7 +320,6 @@ func (c *Cache) Access(addr mem.Addr, write bool) bool {
 		c.memoOK = true
 		set, w, i := c.memoSet, c.memoWay, c.memoIdx
 		c.mru[set] = uint8(w)
-		c.stats.Hits++
 		// hitUpdate, manually inlined (see hitUpdate).
 		if c.memoTouch {
 			c.clock++
@@ -334,7 +341,6 @@ func (c *Cache) Access(addr mem.Addr, write bool) bool {
 	// before scanning.
 	if m := uint64(c.mru[set]); c.tags[base+m] == probe {
 		i := base + m
-		c.stats.Hits++
 		c.hitUpdate(set, int(m), i, write)
 		c.noteTouch(line, set, int(m), i)
 		return true
@@ -343,7 +349,6 @@ func (c *Cache) Access(addr mem.Addr, write bool) bool {
 	for w := range ways {
 		if ways[w] == probe {
 			i := base + uint64(w)
-			c.stats.Hits++
 			// hitUpdate, manually inlined (measured: the call is not
 			// inlined and this is the hottest hit path).
 			if c.memoTouch {
@@ -420,11 +425,11 @@ func (c *Cache) MemoIs(addr mem.Addr) bool {
 // Access, in O(1) instead of n lookups. Counters and replacement metadata
 // end up exactly as n individual hitting Access calls would leave them:
 // LRU advances the clock n times and restamps the way (uint32 wraparound
-// matches n increments); tree-PLRU's pointing is idempotent on the
-// already-pointed-away last way, and FIFO/Random never update on hits, so
-// those policies need no state change at all. The caller must have
-// touched the line via Access since the last Invalidate/Flush (checked:
-// panics on a cleared memo).
+// matches n increments); tree-PLRU repoints away from the way once (n
+// identical repoints fold into one — the mask update is idempotent); FIFO
+// and Random never update on hits. The caller must have touched the line
+// via Access since the last Invalidate/Flush (checked: panics on a
+// cleared memo).
 func (c *Cache) HitLastN(n uint64, write bool) {
 	if n == 0 {
 		return
@@ -433,7 +438,6 @@ func (c *Cache) HitLastN(n uint64, write bool) {
 		panic("cache: HitLastN without a preceding Access")
 	}
 	c.stats.Accesses += n
-	c.stats.Hits += n
 	if write {
 		c.stats.Writes += n
 		c.dirty[c.memoIdx] = true
@@ -441,6 +445,9 @@ func (c *Cache) HitLastN(n uint64, write bool) {
 	if c.memoTouch { // LRU: n clock bumps, final stamp on the way
 		c.clock += uint32(n)
 		c.age[c.memoIdx] = c.clock
+	} else if c.plruSet != nil {
+		w := c.memoWay
+		c.plruTree[c.memoSet] = (c.plruTree[c.memoSet] &^ c.plruClr[w]) | c.plruSet[w]
 	}
 }
 

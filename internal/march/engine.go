@@ -218,6 +218,13 @@ func DefaultTLB() *cache.Cache {
 	return t
 }
 
+// touchSlots sizes the engine's resolved-touch cache (direct-mapped,
+// indexed by line). The conv kernels keep every weight-row line plus a
+// sliding window of input and output-row lines live at once (~100+ lines
+// for the largest zoo convolution), so 512 slots keep conflict evictions
+// rare; contiguous regions can never self-conflict below 32 KiB.
+const touchSlots = 512
+
 // Engine is the simulated core. It is not safe for concurrent use; each
 // simulated process owns one Engine.
 type Engine struct {
@@ -234,6 +241,26 @@ type Engine struct {
 	branches     uint64
 	mispredicts  uint64
 	extraCycles  uint64 // accumulated stall cycles
+
+	// Resolved-touch cache: recently touched lines with their L1/TLB
+	// placement pre-resolved (cache.Placement), so repeat touches replay
+	// guaranteed hits without walking either lookup path. touchOn gates it
+	// to hierarchies whose L1 line and TLB page are at least the engine's
+	// 64-byte access granularity (a 64-byte piece then maps to exactly one
+	// line and one page, which is what makes a cached placement reusable).
+	touch   [touchSlots]cache.Placement
+	pair    cache.Pair
+	touchOn bool
+
+	// L2/LLC resolved placements for the miss walk: thrashing kernels miss
+	// the same L1 lines cyclically while the deeper levels still hold them,
+	// so the walk's L2 (and, past it, LLC) hit replays at the resolved slot.
+	// l2/llc are nil when the hierarchy lacks that level (or its line size
+	// is below the access granularity).
+	l2     *cache.Cache
+	touch2 [touchSlots]cache.Solo
+	llc    *cache.Cache
+	touch3 [touchSlots]cache.Solo
 }
 
 // NewEngine builds an engine, filling defaults for nil fields.
@@ -270,6 +297,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.arena = a
 	}
 	e.l1 = e.caches.Levels[0]
+	e.pair = cache.Pair{Data: e.l1, TLB: e.tlb}
+	e.touchOn = e.l1.Config().LineSize >= lineSize && e.tlb.Config().LineSize >= lineSize
+	if e.touchOn && len(e.caches.Levels) > 1 && e.caches.Levels[1].Config().LineSize >= lineSize {
+		e.l2 = e.caches.Levels[1]
+		if len(e.caches.Levels) == 3 && e.caches.Levels[2].Config().LineSize >= lineSize {
+			e.llc = e.caches.Levels[2]
+		}
+	}
 	return e, nil
 }
 
@@ -306,34 +341,53 @@ func (e *Engine) access(addr mem.Addr, size uint64, write bool) {
 	if size == 0 {
 		size = 1
 	}
+	// Single-piece fast path: the access fits inside one line (almost every
+	// kernel access). Identical to one iteration of the split loop below.
+	if uint64(addr)%lineSize+size <= lineSize {
+		e.instructions++
+		if !e.pair.Touch(&e.touch[(uint64(addr)>>6)&(touchSlots-1)], uint64(addr), write) {
+			e.slowPiece(addr, write)
+		}
+		return
+	}
 	for off := uint64(0); off < size; {
 		a := addr + mem.Addr(off)
 		e.instructions++
-		// Same-line short-circuit: when a falls in the line (and page) the
-		// previous access touched, the TLB and L1 hits are guaranteed, so
-		// the hierarchy walk and the stall accounting are skipped entirely.
-		// The memo replay updates counters and replacement state exactly as
-		// the full path's hits would.
-		if e.l1.MemoIs(a) && e.tlb.MemoIs(a) {
-			e.tlb.HitLastN(1, false)
-			e.l1.HitLastN(1, write)
-			off += lineSize - (uint64(a))%lineSize
-			continue
-		}
-		// Address translation first: a dTLB miss costs a page walk. A
-		// same-page repeat (the overwhelmingly common case) replays the
-		// guaranteed hit without the full lookup.
-		if e.tlb.MemoIs(a) {
-			e.tlb.HitLastN(1, false)
-		} else if !e.tlb.Access(a, false) {
-			e.extraCycles += e.timing.TLBMissPenalty
-		}
-		// L1 first (the common hit needs no stall accounting at all); only
-		// misses walk the deeper levels.
-		if !e.l1.Access(a, write) {
-			e.missWalk(a, write)
+		// Resolved-touch fast path: when a falls in a line whose placement
+		// is cached and still current (the L1 slot and TLB slot both hold
+		// the expected tags), the hits are guaranteed and replay directly at
+		// the resolved (set, way), skipping both lookup walks. Counters and
+		// replacement state change exactly as the full path's hits would.
+		if !e.pair.Touch(&e.touch[(uint64(a)>>6)&(touchSlots-1)], uint64(a), write) {
+			e.slowPiece(a, write)
 		}
 		off += lineSize - (uint64(a))%lineSize
+	}
+}
+
+// slowPiece is the full per-piece path: TLB translation (memo replay or
+// lookup with page-walk penalty), L1 lookup, miss walk, and finally the
+// resolved-touch capture that makes repeat touches of this line fast.
+//
+//detlint:allocpath
+func (e *Engine) slowPiece(a mem.Addr, write bool) {
+	// Address translation first: a dTLB miss costs a page walk. A
+	// same-page repeat replays the guaranteed hit without the full lookup.
+	if e.tlb.MemoIs(a) {
+		e.tlb.HitLastN(1, false)
+	} else if !e.tlb.Access(a, false) {
+		e.extraCycles += e.timing.TLBMissPenalty
+	}
+	// L1 first (the common hit needs no stall accounting at all); only
+	// misses walk the deeper levels.
+	if !e.l1.Access(a, write) {
+		e.missWalk(a, write)
+	}
+	if e.touchOn {
+		// Capture a's now-resident placement into the resolved-touch cache
+		// (skipped when a prefetching level moved the memo off a's line —
+		// then the line simply stays on the slow path).
+		e.pair.Resolve(&e.touch[(uint64(a)>>6)&(touchSlots-1)], uint64(a))
 	}
 }
 
@@ -342,6 +396,48 @@ func (e *Engine) access(addr mem.Addr, size uint64, write bool) {
 //
 //detlint:allocpath
 func (e *Engine) missWalk(a mem.Addr, write bool) {
+	if e.l2 != nil {
+		t2 := &e.touch2[(uint64(a)>>6)&(touchSlots-1)]
+		if e.l2.TouchSolo(t2, uint64(a), write) {
+			// Resolved L2 replay: the hit is guaranteed, skip the lookup.
+			e.extraCycles += e.timing.L2HitPenalty
+			return
+		}
+		hit := e.l2.Access(a, write)
+		// Hit or install — either way the line is now L2-resident; capture
+		// its placement for the next walk of this line.
+		e.l2.ResolveSolo(t2, uint64(a))
+		if hit {
+			e.extraCycles += e.timing.L2HitPenalty
+			return
+		}
+		if e.llc != nil {
+			// Same resolved replay one level down: L2-missing lines usually
+			// still sit in the LLC.
+			t3 := &e.touch3[(uint64(a)>>6)&(touchSlots-1)]
+			if e.llc.TouchSolo(t3, uint64(a), write) {
+				e.extraCycles += e.timing.LLCHitPenalty
+				return
+			}
+			hit = e.llc.Access(a, write)
+			e.llc.ResolveSolo(t3, uint64(a))
+			if hit {
+				e.extraCycles += e.timing.LLCHitPenalty
+				return
+			}
+			e.extraCycles += e.timing.MemPenalty
+			return
+		}
+		levels := e.caches.Levels
+		for i := 2; i < len(levels); i++ {
+			if levels[i].Access(a, write) {
+				e.extraCycles += e.timing.LLCHitPenalty
+				return
+			}
+		}
+		e.extraCycles += e.timing.MemPenalty
+		return
+	}
 	levels := e.caches.Levels
 	for i := 1; i < len(levels); i++ {
 		if levels[i].Access(a, write) {
@@ -394,14 +490,39 @@ func (e *Engine) rangeAccess(base mem.Addr, elem uint64, count int, write bool) 
 			i++
 			continue
 		}
-		n := int(within / elem) // elements wholly inside this line
+		var n int // elements wholly inside this line
+		if elem == 4 {
+			n = int(within >> 2) // dominant element size: avoid the division
+		} else {
+			n = int(within / elem)
+		}
 		if n > count-i {
 			n = count - i
 		}
-		e.access(a, elem, write) // first element: full TLB + hierarchy path
+		// Warm path: the whole chunk — first element included — replays as
+		// one resolved bulk touch.
+		nu := uint64(n)
+		var nw uint64
+		if write {
+			nw = nu
+		}
+		if e.pair.TouchRun(&e.touch[(uint64(a)>>6)&(touchSlots-1)], uint64(a), nu, nw) {
+			e.instructions += nu
+			i += n
+			continue
+		}
+		e.access(a, elem, write) // first element: full path (resolves the line)
 		if n > 1 {
-			k := uint64(n - 1)
-			if e.l1.MemoIs(a) && e.tlb.MemoIs(a) {
+			k := nu - 1
+			var kw uint64
+			if write {
+				kw = k
+			}
+			if e.pair.TouchRun(&e.touch[(uint64(a)>>6)&(touchSlots-1)], uint64(a), k, kw) {
+				// The first element refreshed the placement: bulk-replay the
+				// remaining guaranteed hits at it.
+				e.instructions += k
+			} else if e.l1.MemoIs(a) && e.tlb.MemoIs(a) {
 				// The line is now resident (hit or just installed): the
 				// remaining elements are guaranteed TLB + L1 hits.
 				e.instructions += k
@@ -413,6 +534,134 @@ func (e *Engine) rangeAccess(base mem.Addr, elem uint64, count int, write bool) 
 				for j := 1; j < n; j++ {
 					e.access(a+mem.Addr(uint64(j)*elem), elem, write)
 				}
+			}
+		}
+		i += n
+	}
+}
+
+// MacRow simulates the convolution scatter's per-position access triple —
+// Load(w, size), Load(o, size), Store(o, size) — exactly, replaying the
+// three events fused when both rows' placements are resolved and current.
+// The fused path is taken only when each row fits inside one cache line;
+// otherwise (or when either placement is stale) the triple goes through
+// the ordinary access path piece by piece.
+//
+//detlint:allocpath
+func (e *Engine) MacRow(w, o mem.Addr, size uint64) {
+	if (uint64(w)&(lineSize-1))+size <= lineSize && (uint64(o)&(lineSize-1))+size <= lineSize {
+		tw := &e.touch[(uint64(w)>>6)&(touchSlots-1)]
+		to := &e.touch[(uint64(o)>>6)&(touchSlots-1)]
+		if e.pair.MacRow(tw, to, uint64(w), uint64(o)) {
+			e.instructions += 3
+			return
+		}
+		// Partial replay: the weight row (the thrashing side of the conv2
+		// working set) walks the full path in order; the output row's
+		// load+store pair still fuses when its placement is current. Each
+		// leg is exactly one single-piece access.
+		e.instructions++
+		if !e.pair.Touch(tw, uint64(w), false) {
+			e.slowPiece(w, false)
+		}
+		if e.pair.TouchRun(to, uint64(o), 2, 1) {
+			e.instructions += 2
+			return
+		}
+		e.instructions++
+		if !e.pair.Touch(to, uint64(o), false) {
+			e.slowPiece(o, false)
+		}
+		e.instructions++
+		if !e.pair.Touch(to, uint64(o), true) {
+			e.slowPiece(o, true)
+		}
+		return
+	}
+	e.access(w, size, false)
+	e.access(o, size, false)
+	e.access(o, size, true)
+}
+
+// MacSpan simulates n consecutive MacRow triples: position i loads
+// w + i*wStep, then loads and stores o - i*size (the convolution scatter's
+// inner kernel-column walk, whose output rows recede as the kernel column
+// advances). Counter-identical to n individual MacRow calls; the leading
+// resolved positions replay fused in one pass over the placement cache.
+//
+//detlint:allocpath
+func (e *Engine) MacSpan(w, o mem.Addr, wStep, size uint64, n int) {
+	done := 0
+	if e.touchOn {
+		done = e.pair.MacSpan(e.touch[:], touchSlots-1, uint64(w), uint64(o), wStep, size, n)
+		e.instructions += uint64(3 * done)
+	}
+	for i := done; i < n; i++ {
+		e.MacRow(w+mem.Addr(uint64(i)*wStep), o-mem.Addr(uint64(i)*size), size)
+	}
+}
+
+// LoadStoreRange simulates count load+store pairs of elem bytes each,
+// striding by elem — counter-identical to count interleaved
+// Load(a, elem); Store(a, elem) call pairs (the read-modify-write walk of
+// the conv bias pass). Pairs sharing a cache line replay through the
+// batched hit path.
+//
+//detlint:allocpath
+func (e *Engine) LoadStoreRange(base mem.Addr, elem uint64, count int) {
+	if elem == 0 {
+		for i := 0; i < count; i++ {
+			e.access(base, 0, false)
+			e.access(base, 0, true)
+		}
+		return
+	}
+	i := 0
+	for i < count {
+		a := base + mem.Addr(uint64(i)*elem)
+		within := lineSize - uint64(a)%lineSize
+		if elem > within {
+			// Element crosses a line boundary: exact multi-piece path.
+			e.access(a, elem, false)
+			e.access(a, elem, true)
+			i++
+			continue
+		}
+		var n int // elements wholly inside this line
+		if elem == 4 {
+			n = int(within >> 2)
+		} else {
+			n = int(within / elem)
+		}
+		if n > count-i {
+			n = count - i
+		}
+		// Warm path: all 2n load/store events replay as one resolved bulk.
+		if e.pair.TouchRun(&e.touch[(uint64(a)>>6)&(touchSlots-1)], uint64(a), uint64(2*n), uint64(n)) {
+			e.instructions += uint64(2 * n)
+			i += n
+			continue
+		}
+		e.access(a, elem, false) // first load: full path (resolves the line)
+		rest := uint64(2*n) - 1  // its store + load/store pairs after it
+		if e.pair.TouchRun(&e.touch[(uint64(a)>>6)&(touchSlots-1)], uint64(a), rest, uint64(n)) {
+			e.instructions += rest
+		} else if e.l1.MemoIs(a) && e.tlb.MemoIs(a) {
+			// Resident line: the remaining events are guaranteed hits. Split
+			// the bulk replay into its n stores and n-1 loads — all same-line,
+			// so the sums and final replacement stamp are order-exact.
+			e.instructions += rest
+			e.tlb.HitLastN(rest, false)
+			e.l1.HitLastN(uint64(n), true)
+			if n > 1 {
+				e.l1.HitLastN(uint64(n)-1, false)
+			}
+		} else {
+			e.access(a, elem, true)
+			for j := 1; j < n; j++ {
+				aj := a + mem.Addr(uint64(j)*elem)
+				e.access(aj, elem, false)
+				e.access(aj, elem, true)
 			}
 		}
 		i += n
@@ -483,6 +732,36 @@ func (e *Engine) Branch(pc uint64, taken bool) {
 		if !e.btb.Lookup(pc, pc+64) {
 			e.extraCycles += 2
 		}
+	}
+}
+
+// BranchRun simulates n consecutive data-dependent branches at pc with the
+// same outcome — the shape the kernels' zero-skip scans and ReLU sign runs
+// produce. Counters, predictor state, and BTB state end up exactly as n
+// individual Branch(pc, taken) calls would leave them: the predictor
+// replays the run with early fixpoint detection (RecordRun), and after the
+// first BTB lookup installs the target, the remaining n-1 lookups are
+// guaranteed hits.
+//
+//detlint:allocpath
+func (e *Engine) BranchRun(pc uint64, taken bool, n uint64) {
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		e.Branch(pc, taken)
+		return
+	}
+	e.instructions += n
+	e.branches += n
+	mis := e.pred.RecordRun(pc, taken, n)
+	e.mispredicts += mis
+	e.extraCycles += mis * e.timing.MispredictPenalty
+	if taken {
+		if !e.btb.Lookup(pc, pc+64) {
+			e.extraCycles += 2
+		}
+		e.btb.HitN(n - 1)
 	}
 }
 

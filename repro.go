@@ -354,6 +354,11 @@ type EvalConfig struct {
 	// Fabric configures the fabric (worker binary, completion journal,
 	// transport) when Processes ≥ 1.
 	Fabric FabricConfig
+	// Batch groups a shard's measured runs into batched replay sessions
+	// of this size (core.Config.Batch). Per-run counter attribution is
+	// exact, so any batch size reproduces the batch=1 report
+	// byte-for-byte; it only changes wall-clock. Default 1.
+	Batch int
 }
 
 // Evaluate runs the paper's Evaluator against the scenario.
@@ -378,6 +383,7 @@ func (s *Scenario) EvaluateCtx(ctx context.Context, cfg EvalConfig) (*Report, er
 		Events:       cfg.Events,
 		Alpha:        cfg.Alpha,
 		RunsPerClass: cfg.RunsPerClass,
+		Batch:        cfg.Batch,
 	})
 	if err != nil {
 		return nil, err
@@ -420,6 +426,7 @@ func (s *Scenario) EvaluateCtx(ctx context.Context, cfg EvalConfig) (*Report, er
 			RunsPerClass: cfg.RunsPerClass,
 			RootSeed:     seed,
 			ShardRuns:    cfg.ShardRuns,
+			Batch:        cfg.Batch,
 		}
 		byClass, err := collectFabric(ctx, p, pools, spec, cfg.Processes, cfg.Fabric)
 		if err != nil {

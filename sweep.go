@@ -46,6 +46,10 @@ type SweepConfig struct {
 	Processes int
 	// Fabric configures the fabric when Processes ≥ 1.
 	Fabric FabricConfig
+	// Batch groups each cell's measured runs into batched replay sessions
+	// of this size (core.Config.Batch); cell results are byte-identical
+	// at any value. Default 1.
+	Batch int
 	// CellParallel bounds how many grid cells evaluate concurrently;
 	// 0 → 2. Cell results are independent of this.
 	CellParallel int
@@ -249,6 +253,7 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 				Workers:      cfg.Workers,
 				Processes:    cfg.Processes,
 				Fabric:       cfg.Fabric,
+				Batch:        cfg.Batch,
 				Seed:         core.DeriveSeed(cfg.Seed, cl.index, 0),
 			})
 			if err != nil {
@@ -266,6 +271,7 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					Workers:     cfg.Workers,
 					Processes:   cfg.Processes,
 					Fabric:      cfg.Fabric,
+					Batch:       cfg.Batch,
 					// Domain 3 keeps attack-stage observations disjoint from
 					// the cell's evaluation campaign (domain 0 above).
 					Seed: core.DeriveSeed(cfg.Seed, cl.index, 3),
@@ -376,6 +382,7 @@ func (s *Scenario) EvaluateGrouped(ctx context.Context, level DefenseLevel, cfg 
 			Events:       events[lo:hi],
 			Alpha:        cfg.Alpha,
 			RunsPerClass: cfg.RunsPerClass,
+			Batch:        cfg.Batch,
 		})
 		if err != nil {
 			return nil, err
@@ -400,6 +407,7 @@ func (s *Scenario) EvaluateGrouped(ctx context.Context, level DefenseLevel, cfg 
 				RunsPerClass: cfg.RunsPerClass,
 				RootSeed:     core.DeriveSeed(seed, g, 1),
 				ShardRuns:    cfg.ShardRuns,
+				Batch:        cfg.Batch,
 			}
 			byClass, err := collectFabric(ctx, p, pools, spec, cfg.Processes, cfg.Fabric)
 			if err != nil {
