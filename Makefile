@@ -12,12 +12,12 @@
 GO ?= go
 
 # PR number stamped into the benchmark trajectory snapshot.
-BENCH_PR ?= 8
+BENCH_PR ?= 9
 BENCH_JSON ?= BENCH_PR$(BENCH_PR).json
 # Key micro/campaign benches tracked across PRs.
-BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkClassifyBatch|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage|BenchmarkTopoStage
+BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkClassifyBatch|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage|BenchmarkTopoStage|BenchmarkMonitorStream
 
-.PHONY: all build vet lint test race bench bench-json allocgate benchsmoke fabricsmoke batchsmoke ci golden
+.PHONY: all build vet lint test race bench bench-json allocgate benchsmoke fabricsmoke batchsmoke streamsmoke ci golden
 
 all: build
 
@@ -58,9 +58,10 @@ bench-json:
 	@echo "wrote $(BENCH_JSON)"
 
 # Allocation gate: the hot paths (Hierarchy.Access, Engine.Load on a
-# cached line, PMU.MeasureOnceInto steady state) must stay at 0 allocs/op.
+# cached line, PMU.MeasureOnceInto steady state, the stream stage's
+# window emission) must stay at 0 allocs/op.
 allocgate:
-	$(GO) test -run 'ZeroAlloc' ./internal/march/... ./internal/hpc
+	$(GO) test -run 'ZeroAlloc' ./internal/march/... ./internal/hpc ./internal/pipeline
 
 # Fast hot-path smoke: catches order-of-magnitude regressions in seconds.
 benchsmoke:
@@ -93,10 +94,23 @@ batchsmoke:
 	cmp $$tmp/b1.csv $$tmp/b8.csv; \
 	echo "batchsmoke: batch=1 and batch=8 distributions are byte-identical"
 
+# Streaming-monitor determinism smoke: the same campaign is run through
+# cmd/monitor to exhaustion (-no-stop) and through cmd/evaluate, and the
+# raw distribution CSVs must be byte-identical — the stream seam
+# reorders nothing and loses nothing.
+streamsmoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf '"$$tmp" EXIT; \
+	$(GO) run ./cmd/evaluate -dataset mnist -classes 1,2 -runs 30 -workers 2 -seed 17 \
+		-csv $$tmp/batch.csv >/dev/null; \
+	$(GO) run ./cmd/monitor -dataset mnist -classes 1,2 -budget 30 -workers 2 -seed 17 \
+		-no-stop -csv $$tmp/stream.csv >/dev/null; \
+	cmp $$tmp/batch.csv $$tmp/stream.csv; \
+	echo "streamsmoke: streamed-to-exhaustion and batch distributions are byte-identical"
+
 # Regenerate all four golden reports (end-to-end evaluation, attack
 # stage, architecture fingerprinting, topology recovery) after a
 # *deliberate* behavior change (review the diff before committing it).
 golden:
-	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport|TestTopoGoldenReport' -update .
+	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport|TestTopoGoldenReport|TestGoldenMonitor' -update .
 
-ci: vet build lint race allocgate benchsmoke fabricsmoke batchsmoke bench
+ci: vet build lint race allocgate benchsmoke fabricsmoke batchsmoke streamsmoke bench

@@ -755,3 +755,45 @@ func BenchmarkTensorConv2D(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMonitorStream runs the streaming leakage monitor — windowed
+// collection through the stream seam, sequential tests under the
+// alpha-spending boundary — against the shared MNIST scenario. The
+// early-stop variants report the detection trace count (identical
+// across worker counts for the same seed); the no-stop variant measures
+// the full streamed-to-exhaustion campaign including the batch report
+// tail.
+func BenchmarkMonitorStream(b *testing.B) {
+	s, err := DefaultScenario(DatasetMNIST)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name    string
+		workers int
+		noStop  bool
+	}{
+		{"workers=1", 1, false},
+		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0), false},
+		{"workers=1/nostop", 1, true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := s.Monitor(MonitorConfig{
+					Classes: []int{1, 2},
+					Budget:  60,
+					Workers: c.workers,
+					Seed:    17,
+					NoStop:  c.noStop,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.TracesSeen), "traces")
+				if rep.Detection != nil {
+					b.ReportMetric(float64(rep.Detection.Traces), "detect_traces")
+				}
+			}
+		})
+	}
+}

@@ -118,6 +118,21 @@ func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc rep
 			Processes:   processes,
 			Fabric:      fc,
 		})
+	case repro.StageMonitor:
+		// The monitor report leads with the first-detection trace count:
+		// how many monitored inferences the verdict cost this deployment.
+		result, err = s.MonitorCtx(ctx, repro.MonitorConfig{
+			Classes:   req.Classes,
+			Events:    events,
+			Budget:    req.Runs,
+			Alpha:     req.Alpha,
+			Workers:   1,
+			Seed:      req.Seed,
+			Tenants:   req.Tenants,
+			NoStop:    req.NoStop,
+			Processes: processes,
+			Fabric:    fc,
+		})
 	case repro.StageTopo:
 		result, err = s.Topo(ctx, repro.TopoConfig{
 			Events:    events,

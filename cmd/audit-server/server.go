@@ -21,7 +21,7 @@ import (
 // declared with the same spec vocabulary the fabric's worker protocol
 // uses. Budgets left zero take the stage's documented defaults.
 type CampaignRequest struct {
-	// Stage selects the audit: report, attack, archid or topo.
+	// Stage selects the audit: report, attack, archid, topo or monitor.
 	Stage string `json:"stage"`
 	// Scenario is the case study to rebuild (repro.ScenarioSpec).
 	Scenario repro.ScenarioSpec `json:"scenario"`
@@ -37,6 +37,13 @@ type CampaignRequest struct {
 	MaxInputs int `json:"max_inputs,omitempty"`
 	// Seed overrides the campaign root seed; 0 uses the scenario seed.
 	Seed int64 `json:"seed,omitempty"`
+	// Alpha is the monitor stage's overall significance level; 0 uses
+	// the default 0.05.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Tenants ≥ 2 runs the monitor stage in co-residency mode.
+	Tenants int `json:"tenants,omitempty"`
+	// NoStop disables the monitor stage's early stopping.
+	NoStop bool `json:"no_stop,omitempty"`
 	// Processes distributes collection over shardworker processes; 0
 	// runs in-process. Reports are byte-identical either way.
 	Processes int `json:"processes,omitempty"`
@@ -204,9 +211,9 @@ func snapshot(c *campaign) *campaign {
 
 func validateRequest(req CampaignRequest) error {
 	switch req.Stage {
-	case repro.StageReport, repro.StageAttack, repro.StageArchID, repro.StageTopo:
+	case repro.StageReport, repro.StageAttack, repro.StageArchID, repro.StageTopo, repro.StageMonitor:
 	default:
-		return fmt.Errorf("unknown stage %q (want report, attack, archid or topo)", req.Stage)
+		return fmt.Errorf("unknown stage %q (want report, attack, archid, topo or monitor)", req.Stage)
 	}
 	if req.Scenario.Dataset == "" {
 		return fmt.Errorf("campaign needs a scenario dataset")

@@ -249,3 +249,39 @@ func TestResponseBytesMatchLegacyMapEncoding(t *testing.T) {
 		t.Errorf("error envelope drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
+
+// TestServerMonitorStage: the monitor stage is accepted, its knobs reach
+// the runner, and the served report surfaces the first-detection trace
+// count — the number a fleet operator reads off the endpoint.
+func TestServerMonitorStage(t *testing.T) {
+	var got CampaignRequest
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+		got = req
+		return json.RawMessage(`{"name":"mnist/baseline","stopped":true,"detection":{"event_name":"cache-misses","traces":58},"traces_seen":58}`), nil
+	})
+
+	body := `{"stage":"monitor","scenario":{"dataset":"mnist","defense":"baseline"},"runs":60,"alpha":0.01,"tenants":2,"no_stop":false}`
+	resp := postCampaign(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want %d", resp.StatusCode, http.StatusAccepted)
+	}
+	var ack enqueuedJSON
+	decodeBody(t, resp, &ack)
+	c := waitState(t, ts, ack.ID, stateDone)
+
+	if got.Stage != repro.StageMonitor || got.Runs != 60 || got.Alpha != 0.01 || got.Tenants != 2 {
+		t.Fatalf("runner saw %+v, monitor knobs lost in transit", got)
+	}
+	var rep struct {
+		Stopped   bool `json:"stopped"`
+		Detection struct {
+			Traces int `json:"traces"`
+		} `json:"detection"`
+	}
+	if err := json.Unmarshal(c.Report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stopped || rep.Detection.Traces != 58 {
+		t.Fatalf("served report %s does not surface the detection trace count", c.Report)
+	}
+}

@@ -112,10 +112,11 @@ func (sp ScenarioSpec) config() (ScenarioConfig, error) {
 // pipeline session); the distinct names keep their journals and
 // campaign digests apart.
 const (
-	StageReport = "report"
-	StageAttack = "attack"
-	StageArchID = "archid"
-	StageTopo   = "topo"
+	StageReport  = "report"
+	StageAttack  = "attack"
+	StageArchID  = "archid"
+	StageTopo    = "topo"
+	StageMonitor = "monitor"
 )
 
 // WorkerSpec is the opaque campaign spec a coordinator sends in the init
@@ -146,6 +147,10 @@ type WorkerSpec struct {
 	RunsPerClass int   `json:"runs_per_class,omitempty"`
 	RootSeed     int64 `json:"root_seed,omitempty"`
 	Batch        int   `json:"batch,omitempty"`
+
+	// Monitor sessions: tenant count (≥ 2 co-locates a second classifier
+	// on every shard engine, interleaved at Quantum instructions).
+	Tenants int `json:"tenants,omitempty"`
 
 	// ArchID/topo sessions: the campaign root seed (victim weights derive
 	// from it) and the stage budgets.
@@ -223,7 +228,7 @@ func NewWorkerRunner(ctx context.Context, raw []byte) (fabric.Runner, error) {
 	}
 
 	switch spec.Stage {
-	case StageReport, StageAttack:
+	case StageReport, StageAttack, StageMonitor:
 		ev, err := core.NewEvaluator(core.Config{
 			Events:       events,
 			RunsPerClass: spec.RunsPerClass,
@@ -245,6 +250,9 @@ func NewWorkerRunner(ctx context.Context, raw []byte) (fabric.Runner, error) {
 			return nil, err
 		}
 		factory := s.FactoryFor(level)
+		if spec.Stage == StageMonitor && spec.Tenants >= 2 {
+			factory = s.monitorFactory(level, spec.Tenants, spec.Quantum)
+		}
 		return p.Executor(func(_ int, seed int64) (core.Target, error) {
 			return factory(seed)
 		}, pools)

@@ -188,29 +188,19 @@ func (b *shardBatch) load(sh Shard, run int) int {
 // deltas — which changes wall-clock only: every batch size yields
 // bit-identical profiles. The context is checked between batches.
 func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh Shard) ([]hpc.Profile, error) {
-	pmu, err := ev.prepareShard(ctx, target, sh)
+	profs := make([]hpc.Profile, 0, sh.Count)
+	err := ev.CollectShardEmit(ctx, target, sh, func(w Window) error {
+		for _, p := range w.Profiles {
+			cp := make(hpc.Profile, len(ev.cfg.Events))
+			for _, e := range ev.cfg.Events {
+				cp[e] = p.Get(e)
+			}
+			profs = append(profs, cp)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	batch := ev.cfg.Batch
-	profs := make([]hpc.Profile, 0, sh.Count)
-	scratch := make([]hpc.Profile, batch)
-	b := shardBatch{target: target, imgs: make([]*tensor.Tensor, batch)}
-	for run := sh.Start; run < sh.Start+sh.Count; run += batch {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		n := b.load(sh, run)
-		for i := 0; i < n; i++ {
-			scratch[i] = make(hpc.Profile, len(ev.cfg.Events))
-		}
-		if err := pmu.MeasureBatchInto(scratch[:n], b.work); err != nil {
-			return nil, err
-		}
-		if b.err != nil {
-			return nil, fmt.Errorf("core: classification failed: %w", b.err)
-		}
-		profs = append(profs, scratch[:n]...)
 	}
 	return profs, nil
 }
@@ -223,10 +213,6 @@ func (ev *Evaluator) CollectShardProfiles(ctx context.Context, target Target, sh
 // sample buffers, so the measure loop performs no allocations at any
 // batch size.
 func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) (*Distributions, error) {
-	pmu, err := ev.prepareShard(ctx, target, sh)
-	if err != nil {
-		return nil, err
-	}
 	d := &Distributions{
 		Events:  append([]march.Event(nil), ev.cfg.Events...),
 		Classes: []int{sh.Class},
@@ -235,28 +221,16 @@ func (ev *Evaluator) CollectShard(ctx context.Context, target Target, sh Shard) 
 	for _, e := range ev.cfg.Events {
 		d.Samples[e] = map[int][]float64{sh.Class: make([]float64, sh.Count)}
 	}
-	batch := ev.cfg.Batch
-	profs := make([]hpc.Profile, batch)
-	for i := range profs {
-		profs[i] = make(hpc.Profile, len(ev.cfg.Events))
-	}
-	b := shardBatch{target: target, imgs: make([]*tensor.Tensor, batch)}
-	for run := sh.Start; run < sh.Start+sh.Count; run += batch {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		n := b.load(sh, run)
-		if err := pmu.MeasureBatchInto(profs[:n], b.work); err != nil {
-			return nil, err
-		}
-		if b.err != nil {
-			return nil, fmt.Errorf("core: classification failed: %w", b.err)
-		}
-		for i := 0; i < n; i++ {
+	err := ev.CollectShardEmit(ctx, target, sh, func(w Window) error {
+		for i, p := range w.Profiles {
 			for _, e := range ev.cfg.Events {
-				d.Samples[e][sh.Class][run+i-sh.Start] = profs[i].Get(e)
+				d.Samples[e][sh.Class][w.Start+i-sh.Start] = p.Get(e)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return d, nil
 }

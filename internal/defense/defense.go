@@ -158,6 +158,11 @@ func New(net *nn.Network, engine *march.Engine, cfg Config) (*Hardened, error) {
 // Level returns the configured hardening level.
 func (h *Hardened) Level() Level { return h.level }
 
+// ScratchTop exposes the inner classifier's activation-scratch ceiling:
+// the first simulated address safe for a co-located tenant's
+// allocations (see instrument.Classifier.ScratchTop).
+func (h *Hardened) ScratchTop() mem.Addr { return h.inner.ScratchTop() }
+
 // Engine exposes the simulated core (core.Target).
 func (h *Hardened) Engine() *march.Engine { return h.inner.Engine() }
 

@@ -114,3 +114,118 @@ feed:
 	}
 	return payloads, nil
 }
+
+// RunStream executes every plan and delivers each result payload —
+// strictly in plans-slice order, on the caller's goroutine — the moment
+// it and all its predecessors are available, instead of assembling the
+// whole campaign first. Journal-served shards are delivered without
+// re-execution and completions are journaled exactly as Run journals
+// them, so an interrupted streaming campaign resumes identically. A
+// non-nil error from deliver cancels the outstanding dispatches, drains
+// them, and is returned verbatim — the streaming monitor stops a
+// campaign mid-flight by returning its stop sentinel here.
+func (c *Coordinator) RunStream(ctx context.Context, plans []pipeline.Plan, deliver func(i int, payload []byte) error) error {
+	ready := make([]chan []byte, len(plans))
+	for i := range ready {
+		ready[i] = make(chan []byte, 1)
+	}
+	var pending []int
+	for i, pl := range plans {
+		if c.Journal != nil {
+			if p, ok := c.Journal.Payload(pl.Index); ok {
+				ready[i] <- p
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	if len(pending) > 0 {
+		procs := c.Dispatcher.Procs()
+		if procs < 1 {
+			procs = 1
+		}
+		if procs > len(pending) {
+			procs = len(pending)
+		}
+		jobs := make(chan int)
+		for k := 0; k < procs; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					payload, err := c.Dispatcher.Dispatch(runCtx, plans[i])
+					if err != nil {
+						fail(fmt.Errorf("fabric: shard %d: %w", plans[i].Index, err))
+						return
+					}
+					if c.Journal != nil {
+						if err := c.Journal.Append(plans[i].Index, payload); err != nil {
+							fail(err)
+							return
+						}
+					}
+					ready[i] <- payload // cap 1: never blocks
+				}
+			}()
+		}
+		// Plans are fed in slice order, so the shards the deliverer is
+		// waiting on are always the ones being executed.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(jobs)
+			for _, i := range pending {
+				select {
+				case jobs <- i:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	var deliverErr error
+stream:
+	for i := range plans {
+		var payload []byte
+		select {
+		case payload = <-ready[i]:
+		case <-runCtx.Done():
+			// A completed shard may have raced the cancellation: take it
+			// if it is already buffered, otherwise stop delivering.
+			select {
+			case payload = <-ready[i]:
+			default:
+				break stream
+			}
+		}
+		if err := deliver(i, payload); err != nil {
+			deliverErr = err
+			cancel()
+			break
+		}
+	}
+	wg.Wait()
+	switch {
+	case deliverErr != nil:
+		return deliverErr
+	case firstErr != nil:
+		return firstErr
+	default:
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunStreamDeliversInPlanOrder: payloads arrive at the deliver
+// callback strictly in plans-slice order even when completion order is
+// reversed, and match Run's assembly exactly.
+func TestRunStreamDeliversInPlanOrder(t *testing.T) {
+	d := &fakeDispatcher{procs: 4, delay: 2 * time.Millisecond}
+	c := &Coordinator{Dispatcher: d}
+	plans := makePlans(8)
+	var got []int
+	err := c.RunStream(context.Background(), plans, func(i int, payload []byte) error {
+		got = append(got, i)
+		if string(payload) != string(payloadFor(plans[i].Index)) {
+			t.Fatalf("delivery %d payload %q, want %q", i, payload, payloadFor(plans[i].Index))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plans {
+		if got[i] != i {
+			t.Fatalf("delivery order %v, want plan order", got)
+		}
+	}
+}
+
+// TestRunStreamStopCancelsOutstanding: a deliver error stops the
+// campaign, cancels in-flight dispatches, and is returned verbatim.
+func TestRunStreamStopCancelsOutstanding(t *testing.T) {
+	d := &fakeDispatcher{procs: 2, stallOn: map[int]bool{5: true}}
+	c := &Coordinator{Dispatcher: d}
+	plans := makePlans(6)
+	stop := errors.New("monitor detected leakage")
+	deliveries := 0
+	err := c.RunStream(context.Background(), plans, func(int, []byte) error {
+		deliveries++
+		if deliveries == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want the deliver error", err)
+	}
+	if deliveries != 2 {
+		t.Fatalf("%d deliveries after stop, want 2", deliveries)
+	}
+}
+
+// TestRunStreamJournalsCompletions: streamed completions are journaled
+// exactly like Run's, so a later batch Run resumes from them without
+// re-dispatching.
+func TestRunStreamJournalsCompletions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.journal")
+	camp := CampaignDigest([]byte("stream-campaign"))
+	plans := makePlans(6)
+
+	j, err := OpenJournal(path, camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := &fakeDispatcher{procs: 2}
+	var streamed [][]byte
+	if err := (&Coordinator{Dispatcher: d1, Journal: j}).RunStream(context.Background(), plans, func(_ int, payload []byte) error {
+		streamed = append(streamed, append([]byte(nil), payload...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	d2 := &fakeDispatcher{procs: 2}
+	batch, err := (&Coordinator{Dispatcher: d2, Journal: j2}).Run(context.Background(), plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d2.dispatched()); n != 0 {
+		t.Fatalf("batch rerun re-dispatched %d shards after streaming, want 0", n)
+	}
+	for i := range plans {
+		if string(batch[i]) != string(streamed[i]) {
+			t.Fatalf("journaled payload %d differs between streamed and batch delivery", i)
+		}
+	}
+}
+
+// TestRunStreamFailurePropagates: a dispatcher failure surfaces and
+// stops delivery.
+func TestRunStreamFailurePropagates(t *testing.T) {
+	boom := errors.New("worker died")
+	d := &fakeDispatcher{procs: 1, failOn: map[int]error{1: boom}}
+	c := &Coordinator{Dispatcher: d}
+	plans := makePlans(4)
+	var delivered []int
+	err := c.RunStream(context.Background(), plans, func(i int, _ []byte) error {
+		delivered = append(delivered, i)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the dispatch failure", err)
+	}
+	for _, i := range delivered {
+		if i >= 1 {
+			t.Fatalf("shard %d delivered after failing shard, deliveries %v", i, delivered)
+		}
+	}
+}

@@ -172,6 +172,7 @@ type Classifier struct {
 	plans  []layerPlan
 	mark   mem.Region
 	input  mem.Region // preallocated simulated input region
+	top    mem.Addr   // end of the activation scratch layout (see ScratchTop)
 	rng    *rand.Rand
 }
 
@@ -280,7 +281,15 @@ func (c *Classifier) planScratch() {
 		}
 		prev = p.out
 	}
+	c.top = next
 }
+
+// ScratchTop returns the first simulated address above the classifier's
+// activation scratch layout. The scratch is not registered in the arena
+// (see planScratch), so a caller co-locating *another* classifier on the
+// same engine must first bump the arena past this address — otherwise
+// the second tenant's weights would alias this tenant's activations.
+func (c *Classifier) ScratchTop() mem.Addr { return c.top }
 
 // flattenLayer reshapes without touching simulated memory. The reshaped
 // header is precomputed when the input buffer is fixed (see planScratch).

@@ -242,6 +242,17 @@ type Engine struct {
 	mispredicts  uint64
 	extraCycles  uint64 // accumulated stall cycles
 
+	// Quantum-yield hook: when yieldFn is non-nil, the engine invokes it
+	// at the first operation boundary at or beyond every yieldQuantum
+	// retired instructions — the preemption point a multi-tenant
+	// scheduler (march.Ring) interleaves tenants at. The hook may drive
+	// this same engine for another tenant: nextYield is always advanced
+	// past the current instruction count *before* the hook runs, so
+	// reentrant operations cannot re-trigger the same yield.
+	yieldQuantum uint64
+	nextYield    uint64
+	yieldFn      func()
+
 	// Resolved-touch cache: recently touched lines with their L1/TLB
 	// placement pre-resolved (cache.Placement), so repeat touches replay
 	// guaranteed hits without walking either lookup path. touchOn gates it
@@ -317,12 +328,49 @@ func (e *Engine) Hierarchy() *cache.Hierarchy { return e.caches }
 // Predictor exposes the branch predictor.
 func (e *Engine) Predictor() branch.Predictor { return e.pred }
 
+// SetQuantumYield installs (or, with quantum 0 or a nil fn, removes)
+// the scheduling hook: after every quantum retired instructions the
+// engine calls fn at the next operation boundary. Instructions retired
+// by the hook itself count toward the shared core's quantum clock, so
+// two tenants driving one engine alternate in strict quantum turns.
+func (e *Engine) SetQuantumYield(quantum uint64, fn func()) {
+	if quantum == 0 || fn == nil {
+		e.yieldQuantum, e.nextYield, e.yieldFn = 0, 0, nil
+		return
+	}
+	e.yieldQuantum = quantum
+	e.nextYield = e.instructions + quantum
+	e.yieldFn = fn
+}
+
+// maybeYield fires the quantum hook when the retired-instruction clock
+// has crossed the next yield threshold. The threshold is advanced past
+// the current count before the hook runs (the hook re-enters the engine
+// for the other tenant), and bulk operations that skip several quanta
+// at once advance it to the next boundary beyond them — one yield per
+// crossing, however large the operation.
+//
+//detlint:allocpath
+func (e *Engine) maybeYield() {
+	if e.yieldFn == nil || e.instructions < e.nextYield {
+		return
+	}
+	next := e.nextYield + e.yieldQuantum
+	if next <= e.instructions {
+		n := (e.instructions-next)/e.yieldQuantum + 1
+		next += n * e.yieldQuantum
+	}
+	e.nextYield = next
+	e.yieldFn()
+}
+
 // Load simulates a data load of `size` bytes at addr (split into line-sized
 // pieces) and retires one load instruction per piece.
 //
 //detlint:allocpath
 func (e *Engine) Load(addr mem.Addr, size uint64) {
 	e.access(addr, size, false)
+	e.maybeYield()
 }
 
 // Store simulates a data store.
@@ -330,6 +378,7 @@ func (e *Engine) Load(addr mem.Addr, size uint64) {
 //detlint:allocpath
 func (e *Engine) Store(addr mem.Addr, size uint64) {
 	e.access(addr, size, true)
+	e.maybeYield()
 }
 
 // lineSize is the simulated core's cache-line granularity for access
@@ -461,6 +510,7 @@ func (e *Engine) missWalk(a mem.Addr, write bool) {
 //detlint:allocpath
 func (e *Engine) LoadRange(base mem.Addr, elem uint64, count int) {
 	e.rangeAccess(base, elem, count, false)
+	e.maybeYield()
 }
 
 // StoreRange is LoadRange for stores.
@@ -468,6 +518,7 @@ func (e *Engine) LoadRange(base mem.Addr, elem uint64, count int) {
 //detlint:allocpath
 func (e *Engine) StoreRange(base mem.Addr, elem uint64, count int) {
 	e.rangeAccess(base, elem, count, true)
+	e.maybeYield()
 }
 
 //detlint:allocpath
@@ -549,6 +600,12 @@ func (e *Engine) rangeAccess(base mem.Addr, elem uint64, count int, write bool) 
 //
 //detlint:allocpath
 func (e *Engine) MacRow(w, o mem.Addr, size uint64) {
+	e.macRow(w, o, size)
+	e.maybeYield()
+}
+
+//detlint:allocpath
+func (e *Engine) macRow(w, o mem.Addr, size uint64) {
 	if (uint64(w)&(lineSize-1))+size <= lineSize && (uint64(o)&(lineSize-1))+size <= lineSize {
 		tw := &e.touch[(uint64(w)>>6)&(touchSlots-1)]
 		to := &e.touch[(uint64(o)>>6)&(touchSlots-1)]
@@ -599,6 +656,7 @@ func (e *Engine) MacSpan(w, o mem.Addr, wStep, size uint64, n int) {
 	for i := done; i < n; i++ {
 		e.MacRow(w+mem.Addr(uint64(i)*wStep), o-mem.Addr(uint64(i)*size), size)
 	}
+	e.maybeYield()
 }
 
 // LoadStoreRange simulates count load+store pairs of elem bytes each,
@@ -614,6 +672,7 @@ func (e *Engine) LoadStoreRange(base mem.Addr, elem uint64, count int) {
 			e.access(base, 0, false)
 			e.access(base, 0, true)
 		}
+		e.maybeYield()
 		return
 	}
 	i := 0
@@ -666,6 +725,7 @@ func (e *Engine) LoadStoreRange(base mem.Addr, elem uint64, count int) {
 		}
 		i += n
 	}
+	e.maybeYield()
 }
 
 // OpKind discriminates batched trace operations.
@@ -715,6 +775,7 @@ func (e *Engine) AccessBatch(ops []TraceOp) {
 		case OpOps:
 			e.Ops(op.N)
 		}
+		e.maybeYield()
 	}
 }
 
@@ -733,6 +794,7 @@ func (e *Engine) Branch(pc uint64, taken bool) {
 			e.extraCycles += 2
 		}
 	}
+	e.maybeYield()
 }
 
 // BranchRun simulates n consecutive data-dependent branches at pc with the
@@ -763,6 +825,7 @@ func (e *Engine) BranchRun(pc uint64, taken bool, n uint64) {
 		}
 		e.btb.HitN(n - 1)
 	}
+	e.maybeYield()
 }
 
 // PredictableBranches retires n branch instructions that real hardware
@@ -772,12 +835,14 @@ func (e *Engine) BranchRun(pc uint64, taken bool, n uint64) {
 func (e *Engine) PredictableBranches(n uint64) {
 	e.branches += n
 	e.instructions += n
+	e.maybeYield()
 }
 
 // Ops retires n non-memory, non-branch instructions (arithmetic, address
 // generation).
 func (e *Engine) Ops(n uint64) {
 	e.instructions += n
+	e.maybeYield()
 }
 
 // Background injects activity that surrounds the instrumented kernels but
@@ -795,6 +860,7 @@ func (e *Engine) Background(ops, branches, branchMisses, llcRefs, llcMisses uint
 	e.mispredicts += branchMisses
 	e.caches.Last().AddExternal(llcRefs, llcMisses)
 	e.extraCycles += llcMisses*e.timing.MemPenalty + branchMisses*e.timing.MispredictPenalty
+	e.maybeYield()
 }
 
 // Pad injects deterministic filler activity: ops/branches/mispredicts and
@@ -840,6 +906,7 @@ func (e *Engine) PadExtended(p PadSpec) {
 	e.caches.Levels[0].AddExternal(p.L1Loads, p.L1Misses)
 	e.tlb.AddExternal(p.TLBLoads, p.TLBMisses)
 	e.extraCycles += p.StallCycles
+	e.maybeYield()
 }
 
 // StallCycles returns the accumulated stall-cycle residue — the exact
@@ -889,6 +956,7 @@ func (e *Engine) Noise() *NoiseModel { return e.noise }
 // standard measure-after-warm-up discipline.
 func (e *Engine) ResetCounters() {
 	e.instructions, e.branches, e.mispredicts, e.extraCycles = 0, 0, 0, 0
+	e.nextYield = e.yieldQuantum // quantum clock restarts with the instruction counter
 	e.caches.ResetStats()
 	e.tlb.ResetStats()
 	// Predictor stats are embedded with its state; extract-and-subtract

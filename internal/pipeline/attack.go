@@ -42,7 +42,7 @@ func (p *Pipeline) CollectProfilesByClass(ctx context.Context, factory ClassTarg
 	if factory == nil {
 		return nil, fmt.Errorf("pipeline: nil target factory")
 	}
-	shards, err := p.ev.PlanShards(perClass, p.cfg.RootSeed, p.cfg.ShardRuns)
+	shards, err := p.planShards(perClass)
 	if err != nil {
 		return nil, err
 	}
@@ -63,16 +63,11 @@ func (p *Pipeline) CollectProfilesByClass(ctx context.Context, factory ClassTarg
 	if err != nil {
 		return nil, err
 	}
-	runs := p.ev.Config().RunsPerClass
 	byClass := map[int][]hpc.Profile{}
 	for i, sh := range shards {
-		if len(parts[i]) != sh.Count {
-			return nil, fmt.Errorf("pipeline: shard %d has %d profiles, want %d", sh.Index, len(parts[i]), sh.Count)
+		if err := p.placeProfiles(byClass, PlanOf(sh), parts[i]); err != nil {
+			return nil, err
 		}
-		if byClass[sh.Class] == nil {
-			byClass[sh.Class] = make([]hpc.Profile, runs)
-		}
-		copy(byClass[sh.Class][sh.Start:sh.Start+sh.Count], parts[i])
 	}
 	return byClass, nil
 }

@@ -95,6 +95,13 @@ func New(ev *core.Evaluator, cfg Config) (*Pipeline, error) {
 // Config returns the pipeline's (defaults-applied) configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// planShards is the single planning call every stage goes through —
+// Collect, CollectProfilesByClass, Stream and WirePlans all shard one
+// campaign identically because they cannot plan any other way.
+func (p *Pipeline) planShards(perClass map[int][]*tensor.Tensor) ([]core.Shard, error) {
+	return p.ev.PlanShards(perClass, p.cfg.RootSeed, p.cfg.ShardRuns)
+}
+
 // Collect fans the campaign's shard plan out over the worker pool and
 // merges the per-shard distributions. Each worker drains shards from a
 // shared queue, building a fresh target per shard via factory; the merge
@@ -105,7 +112,7 @@ func (p *Pipeline) Collect(ctx context.Context, factory TargetFactory, perClass 
 	if factory == nil {
 		return nil, fmt.Errorf("pipeline: nil target factory")
 	}
-	shards, err := p.ev.PlanShards(perClass, p.cfg.RootSeed, p.cfg.ShardRuns)
+	shards, err := p.planShards(perClass)
 	if err != nil {
 		return nil, err
 	}

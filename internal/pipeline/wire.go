@@ -104,9 +104,10 @@ func PayloadDigest(payload []byte) string {
 }
 
 // WirePlans plans the campaign's shards (exactly as Collect and
-// CollectProfilesByClass do) and returns their wire form, in plan order.
+// CollectProfilesByClass do — all paths share planShards) and returns
+// their wire form, in plan order.
 func (p *Pipeline) WirePlans(perClass map[int][]*tensor.Tensor) ([]Plan, error) {
-	shards, err := p.ev.PlanShards(perClass, p.cfg.RootSeed, p.cfg.ShardRuns)
+	shards, err := p.planShards(perClass)
 	if err != nil {
 		return nil, err
 	}
@@ -117,16 +118,36 @@ func (p *Pipeline) WirePlans(perClass map[int][]*tensor.Tensor) ([]Plan, error) 
 	return plans, nil
 }
 
+// placeProfiles is the one profile-placement routine of the package: a
+// shard's per-run profiles land at their (class, start) offsets in
+// byClass, independent of completion order. Both the in-process merge
+// (CollectProfilesByClass) and the fabric merge (MergeEncoded) go
+// through it, so the two substrates cannot drift in merge semantics.
+func (p *Pipeline) placeProfiles(byClass map[int][]hpc.Profile, pl Plan, profs []hpc.Profile) error {
+	runs := p.ev.Config().RunsPerClass
+	if len(profs) != pl.Count {
+		return fmt.Errorf("pipeline: shard %d has %d profiles, want %d", pl.Index, len(profs), pl.Count)
+	}
+	if pl.Start+pl.Count > runs {
+		return fmt.Errorf("pipeline: shard %d runs [%d,%d) exceed %d runs per class",
+			pl.Index, pl.Start, pl.Start+pl.Count, runs)
+	}
+	if byClass[pl.Class] == nil {
+		byClass[pl.Class] = make([]hpc.Profile, runs)
+	}
+	copy(byClass[pl.Class][pl.Start:pl.Start+pl.Count], profs)
+	return nil
+}
+
 // MergeEncoded decodes per-shard result payloads (payloads[i] belongs to
 // plans[i]) and merges them into the labelled per-run profiles,
-// byClass[class][run] — the exact merge CollectProfilesByClass performs,
-// keyed by the plan's (class, start) placement and therefore independent
-// of completion order.
+// byClass[class][run] — the exact placement CollectProfilesByClass
+// performs (both call placeProfiles) and therefore independent of
+// completion order.
 func (p *Pipeline) MergeEncoded(plans []Plan, payloads [][]byte) (map[int][]hpc.Profile, error) {
 	if len(plans) != len(payloads) {
 		return nil, fmt.Errorf("pipeline: %d plans but %d payloads", len(plans), len(payloads))
 	}
-	runs := p.ev.Config().RunsPerClass
 	byClass := map[int][]hpc.Profile{}
 	for i, pl := range plans {
 		if payloads[i] == nil {
@@ -136,17 +157,9 @@ func (p *Pipeline) MergeEncoded(plans []Plan, payloads [][]byte) (map[int][]hpc.
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d: %w", pl.Index, err)
 		}
-		if len(profs) != pl.Count {
-			return nil, fmt.Errorf("pipeline: shard %d has %d profiles, want %d", pl.Index, len(profs), pl.Count)
+		if err := p.placeProfiles(byClass, pl, profs); err != nil {
+			return nil, err
 		}
-		if pl.Start+pl.Count > runs {
-			return nil, fmt.Errorf("pipeline: shard %d runs [%d,%d) exceed %d runs per class",
-				pl.Index, pl.Start, pl.Start+pl.Count, runs)
-		}
-		if byClass[pl.Class] == nil {
-			byClass[pl.Class] = make([]hpc.Profile, runs)
-		}
-		copy(byClass[pl.Class][pl.Start:pl.Start+pl.Count], profs)
 	}
 	return byClass, nil
 }

@@ -1,0 +1,553 @@
+package repro
+
+// The streaming leakage monitor: instead of collecting a campaign's full
+// trace budget and scoring it afterwards (Evaluate), the monitor consumes
+// profile windows as the pipeline emits them, maintains sequential
+// hypothesis tests per (event, class-pair), and stops the campaign the
+// moment a test crosses its alpha-spending boundary — reporting how many
+// monitored classifications the detection cost. A campaign that runs to
+// exhaustion ends in the ordinary batch report, byte-identical to
+// Evaluate on the same configuration.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/fabric"
+	"repro/internal/instrument"
+	"repro/internal/march"
+	"repro/internal/march/mem"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// MonitorConfig controls a streaming monitor campaign. The zero value
+// monitors the paper's four categories with the default counters at
+// α = 0.05 under a 300-trace-per-class budget on one worker.
+type MonitorConfig struct {
+	Classes []int
+	Events  []Event
+	// Budget is the per-class trace budget: the campaign never consumes
+	// more than this many monitored classifications per category, and a
+	// run to exhaustion equals a batch Evaluate with RunsPerClass=Budget.
+	Budget int
+	// Alpha is the overall significance level. The sequential boundary
+	// spends it across looks so the per-hypothesis false-positive rate of
+	// early stopping stays below it; on exhaustion the batch report
+	// applies it in full.
+	Alpha float64
+	// Workers fans shard collection out (1 = the sequential reference;
+	// the consumed window stream is identical at any worker count).
+	Workers int
+	// Seed is the pipeline root seed; 0 uses the scenario seed.
+	Seed int64
+	// ShardRuns bounds measured runs per shard; 0 uses the pipeline
+	// default.
+	ShardRuns int
+	// Batch groups a shard's runs into batched replay sessions; windows —
+	// and therefore monitor looks — arrive at this cadence. Default 1.
+	Batch int
+	// MannWhitney monitors with the sequential rank-sum test (and scores
+	// the exhaustion report with the batch Mann-Whitney) instead of
+	// Welch's t-test.
+	MannWhitney bool
+	// MinSamples is the per-side sample floor before a hypothesis takes
+	// its first look (default 8).
+	MinSamples int
+	// NoStop disables early stopping: the campaign always runs to
+	// exhaustion and only the batch report decides.
+	NoStop bool
+	// Tenants ≥ 2 monitors the co-residency scenario: every shard engine
+	// hosts a second, co-located classifier of the same network that the
+	// core interleaves with the victim quantum by quantum, so the
+	// victim's measured counters include the co-tenant's contention.
+	Tenants int
+	// Quantum is the instruction quantum of the tenant interleaving
+	// (default 5000). Ignored when Tenants < 2.
+	Quantum uint64
+	// Processes streams shard completions from that many shardworker OS
+	// processes through the audit fabric instead of collecting
+	// in-process; the window cadence and therefore every monitor
+	// decision is identical either way.
+	Processes int
+	// Fabric configures the fabric when Processes ≥ 1.
+	Fabric FabricConfig
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if len(c.Classes) == 0 {
+		c.Classes = PaperClasses()
+	}
+	if c.Budget <= 0 {
+		c.Budget = 300
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 5000
+	}
+	return c
+}
+
+// Detection records the first sequential boundary crossing of a
+// campaign.
+type Detection struct {
+	// Event and EventName identify the leaking counter.
+	Event     Event  `json:"event"`
+	EventName string `json:"event_name"`
+	// ClassA and ClassB are the distinguished categories.
+	ClassA int `json:"class_a"`
+	ClassB int `json:"class_b"`
+	// P is the p-value at the crossing look and Stat the test statistic
+	// (Welch t, or the rank-sum z under MannWhitney).
+	P    float64 `json:"p"`
+	Stat float64 `json:"stat"`
+	// PairTraces is the crossing hypothesis's sample count (both sides);
+	// Traces is the campaign's total consumption at the crossing — the
+	// paper-facing "how many monitored inferences until the defense is
+	// known to leak".
+	PairTraces int `json:"pair_traces"`
+	Traces     int `json:"traces"`
+}
+
+// MonitorReport is the outcome of a streaming monitor campaign.
+type MonitorReport struct {
+	Name string `json:"name"`
+	// Stopped reports early termination; Detection is non-nil iff set.
+	Stopped   bool       `json:"stopped"`
+	Detection *Detection `json:"detection,omitempty"`
+	// TracesSeen is the total number of monitored classifications
+	// consumed (= Budget × classes on exhaustion).
+	TracesSeen int `json:"traces_seen"`
+	// Report is the batch evaluation of the full budget, present only
+	// when the campaign ran to exhaustion; it is byte-identical to
+	// Evaluate with RunsPerClass=Budget on the same scenario and seed.
+	Report *Report `json:"report,omitempty"`
+}
+
+// seqPair is one monitored hypothesis: a sequential two-sample test plus
+// its alpha-spending schedule.
+type seqPair struct {
+	classA, classB int
+	mw             *stats.SeqMannWhitney
+	welch          *stats.SeqWelch
+	spender        stats.AlphaSpender
+}
+
+func (sp *seqPair) add(class int, v float64) {
+	switch {
+	case sp.mw != nil && class == sp.classA:
+		sp.mw.AddA(v)
+	case sp.mw != nil:
+		sp.mw.AddB(v)
+	case class == sp.classA:
+		sp.welch.AddA(v)
+	default:
+		sp.welch.AddB(v)
+	}
+}
+
+func (sp *seqPair) counts() (na, nb int) {
+	if sp.mw != nil {
+		return sp.mw.Na(), sp.mw.Nb()
+	}
+	return sp.welch.Na(), sp.welch.Nb()
+}
+
+// test runs the current look and returns (statistic, p).
+func (sp *seqPair) test() (float64, float64, error) {
+	if sp.mw != nil {
+		r, err := sp.mw.Test()
+		return r.Z, r.P, err
+	}
+	r, err := sp.welch.Test()
+	return r.T, r.P, err
+}
+
+// monitorRun is the stream consumer: it accumulates the raw samples (for
+// the exhaustion report) and drives one seqPair per (event, class-pair).
+// Consumption happens on one goroutine in the pipeline's deterministic
+// stream order, so every decision — including the detection trace count —
+// is a pure function of the campaign configuration.
+type monitorRun struct {
+	events     []Event
+	classes    []int // sorted
+	budget     int
+	minSamples int
+	noStop     bool
+
+	// samples[event][class] accumulates observations in run order —
+	// exactly the series core.MergeShards produces.
+	samples map[Event]map[int][]float64
+	// pairs[event] lists hypotheses in deterministic (A, B) order.
+	pairs map[Event][]*seqPair
+
+	total     int
+	detection *Detection
+}
+
+func newMonitorRun(events []Event, classes []int, cfg MonitorConfig, alpha float64) *monitorRun {
+	sorted := append([]int(nil), classes...)
+	sort.Ints(sorted)
+	m := &monitorRun{
+		events:     events,
+		classes:    sorted,
+		budget:     cfg.Budget,
+		minSamples: cfg.MinSamples,
+		noStop:     cfg.NoStop,
+		samples:    map[Event]map[int][]float64{},
+		pairs:      map[Event][]*seqPair{},
+	}
+	boundary := stats.SpendingBoundary{Alpha: alpha}
+	for _, e := range events {
+		m.samples[e] = map[int][]float64{}
+		for _, cls := range sorted {
+			m.samples[e][cls] = make([]float64, 0, cfg.Budget)
+		}
+		for i := 0; i < len(sorted); i++ {
+			for j := i + 1; j < len(sorted); j++ {
+				sp := &seqPair{classA: sorted[i], classB: sorted[j], spender: stats.AlphaSpender{Boundary: boundary}}
+				if cfg.MannWhitney {
+					sp.mw = &stats.SeqMannWhitney{}
+				} else {
+					sp.welch = &stats.SeqWelch{}
+				}
+				m.pairs[e] = append(m.pairs[e], sp)
+			}
+		}
+	}
+	return m
+}
+
+// consume folds one profile window into the monitor state and takes the
+// scheduled looks. It returns pipeline.ErrStop on the first boundary
+// crossing (unless NoStop).
+func (m *monitorRun) consume(w core.Window) error {
+	cls := w.Class
+	for _, p := range w.Profiles {
+		m.total++
+		for _, e := range m.events {
+			v := p.Get(e)
+			m.samples[e][cls] = append(m.samples[e][cls], v)
+			for _, sp := range m.pairs[e] {
+				if sp.classA == cls || sp.classB == cls {
+					sp.add(cls, v)
+				}
+			}
+		}
+	}
+	if m.noStop {
+		return nil
+	}
+	for _, e := range m.events {
+		for _, sp := range m.pairs[e] {
+			if sp.classA != cls && sp.classB != cls {
+				continue
+			}
+			na, nb := sp.counts()
+			if na < m.minSamples || nb < m.minSamples {
+				continue
+			}
+			stat, p, err := sp.test()
+			if err != nil {
+				return err
+			}
+			t := float64(na+nb) / float64(2*m.budget)
+			if sp.spender.Cross(p, t) {
+				m.detection = &Detection{
+					Event:      e,
+					EventName:  e.String(),
+					ClassA:     sp.classA,
+					ClassB:     sp.classB,
+					P:          p,
+					Stat:       stat,
+					PairTraces: na + nb,
+					Traces:     m.total,
+				}
+				return pipeline.ErrStop
+			}
+		}
+	}
+	return nil
+}
+
+// distributions assembles the accumulated samples into the batch
+// Distributions the exhaustion report is scored from.
+func (m *monitorRun) distributions() (*core.Distributions, error) {
+	d := &core.Distributions{
+		Events:  append([]march.Event(nil), m.events...),
+		Classes: append([]int(nil), m.classes...),
+		Samples: map[march.Event]map[int][]float64{},
+	}
+	for _, e := range m.events {
+		d.Samples[e] = map[int][]float64{}
+		for _, cls := range m.classes {
+			s := m.samples[e][cls]
+			if len(s) != m.budget {
+				return nil, fmt.Errorf("repro: monitor exhausted with %d/%d traces for event %v class %d", len(s), m.budget, e, cls)
+			}
+			d.Samples[e][cls] = s
+		}
+	}
+	return d, nil
+}
+
+// Monitor runs a streaming leakage-monitor campaign against the
+// scenario.
+func (s *Scenario) Monitor(cfg MonitorConfig) (*MonitorReport, error) {
+	return s.MonitorCtx(context.Background(), cfg)
+}
+
+// MonitorCtx is Monitor with cancellation. Collection streams through
+// the sharded pipeline (cfg.Workers in-process workers, or
+// cfg.Processes shardworker OS processes via the audit fabric); the
+// consumed window stream — and with it every look, detection and trace
+// count — is identical across worker and process counts. A cancelled
+// campaign surfaces a *pipeline.Cancelled wrapping the context error,
+// distinguishable from an empty-budget misconfiguration at the CLI
+// layer.
+func (s *Scenario) MonitorCtx(ctx context.Context, cfg MonitorConfig) (*MonitorReport, error) {
+	cfg = cfg.withDefaults()
+	method := core.MethodWelch
+	if cfg.MannWhitney {
+		method = core.MethodMannWhitney
+	}
+	ev, err := core.NewEvaluator(core.Config{
+		Events:       cfg.Events,
+		Alpha:        cfg.Alpha,
+		RunsPerClass: cfg.Budget,
+		Batch:        cfg.Batch,
+		Method:       method,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pools, err := s.ClassPools(cfg.Classes...)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = s.Config.Seed
+	}
+	p, err := pipeline.New(ev, pipeline.Config{
+		Workers:   cfg.Workers,
+		RootSeed:  seed,
+		ShardRuns: cfg.ShardRuns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/%s", s.Config.Dataset, s.Config.Defense)
+	if cfg.Tenants >= 2 {
+		name += "+cotenant"
+	}
+	run := newMonitorRun(ev.Config().Events, cfg.Classes, cfg, ev.Config().Alpha)
+
+	var stopped bool
+	if cfg.Processes > 0 {
+		stopped, err = s.monitorFabric(ctx, p, pools, cfg, seed, ev.Config(), run.consume)
+	} else {
+		factory := s.monitorFactory(s.Config.Defense, cfg.Tenants, cfg.Quantum)
+		stopped, err = p.Stream(ctx, func(_ int, shardSeed int64) (core.Target, error) {
+			return factory(shardSeed)
+		}, pools, run.consume)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &MonitorReport{Name: name, Stopped: stopped, Detection: run.detection, TracesSeen: run.total}
+	if !stopped {
+		d, err := run.distributions()
+		if err != nil {
+			return nil, err
+		}
+		tests, err := p.Test(ctx, d)
+		if err != nil {
+			return nil, err
+		}
+		rep.Report = ev.BuildReport(name, d, tests)
+	}
+	return rep, nil
+}
+
+// tenantTarget is the multi-tenant victim: classifications run on a
+// shared simulated core whose quantum scheduler interleaves a co-located
+// classifier, and the ring is drained after every inference so each
+// monitored interval covers a deterministic co-tenant slice.
+type tenantTarget struct {
+	victim core.Target
+	ring   *march.Ring
+	// coErr is written by the co-tenant while it holds the core token and
+	// read after Drain; the token handoff orders the accesses.
+	coErr error
+}
+
+// Classify deliberately does NOT gain a batch path: tenantTarget must
+// not satisfy core.BatchTarget, so the evaluator measures tenant shards
+// run by run and the ring drains inside every measured interval.
+func (t *tenantTarget) Classify(img *tensor.Tensor) (int, error) {
+	pred, err := t.victim.Classify(img)
+	t.ring.Drain()
+	if err == nil && t.coErr != nil {
+		err = fmt.Errorf("repro: co-tenant: %w", t.coErr)
+	}
+	return pred, err
+}
+
+// Engine exposes the shared core (core.Target).
+func (t *tenantTarget) Engine() *march.Engine { return t.victim.Engine() }
+
+// monitorFactory returns the monitor's target factory: FactoryFor's
+// deployment, co-located with a second classifier of the same network
+// when tenants ≥ 2. The co-tenant's allocations are bumped past the
+// victim's activation scratch (which is not arena-registered — see
+// instrument.Classifier.ScratchTop) so the two footprints contend in the
+// cache hierarchy without silently aliasing.
+func (s *Scenario) monitorFactory(level DefenseLevel, tenants int, quantum uint64) pipeline.TargetFactory {
+	base := s.FactoryFor(level)
+	if tenants < 2 {
+		return base
+	}
+	cfg := s.Config
+	net := s.Net
+	coInput := s.Test.Samples[0].Image
+	return func(seed int64) (core.Target, error) {
+		victim, err := base(seed)
+		if err != nil {
+			return nil, err
+		}
+		eng := victim.Engine()
+		if st, ok := victim.(interface{ ScratchTop() mem.Addr }); ok {
+			if top := st.ScratchTop(); top > eng.Arena().Mark().Base {
+				if _, err := eng.Arena().Alloc("tenant.gap", uint64(top-eng.Arena().Mark().Base)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rt := instrument.DefaultRuntime()
+		if cfg.DisableRuntime {
+			rt = instrument.NoRuntime()
+		}
+		co, err := defense.New(net, eng, defense.Config{
+			Level:   DefenseBaseline,
+			Seed:    seed + 2,
+			Runtime: rt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tt := &tenantTarget{victim: victim}
+		tt.ring = march.NewRing(eng, quantum, func() {
+			if _, err := co.Classify(coInput); err != nil && tt.coErr == nil {
+				tt.coErr = err
+			}
+		})
+		return tt, nil
+	}
+}
+
+// monitorFabric streams one monitor campaign's shard completions from
+// worker processes. Workers execute whole shards (reusing the
+// collection journal format, so an interrupted campaign resumes);
+// delivery re-slices each shard payload into Batch-sized windows, so
+// the consumer sees the exact window cadence of in-process streaming
+// and every monitor decision is process-count-invariant.
+func (s *Scenario) monitorFabric(ctx context.Context, p *pipeline.Pipeline, pools map[int][]*tensor.Tensor, cfg MonitorConfig, seed int64, evCfg core.Config, consume func(core.Window) error) (bool, error) {
+	bin, err := cfg.Fabric.workerBin()
+	if err != nil {
+		return false, err
+	}
+	batch := evCfg.Batch
+	spec := WorkerSpec{
+		Proto:        specProto,
+		Stage:        StageMonitor,
+		Scenario:     s.spec(),
+		Level:        s.Config.Defense.String(),
+		Events:       eventNames(evCfg.Events),
+		Classes:      cfg.Classes,
+		RunsPerClass: cfg.Budget,
+		RootSeed:     seed,
+		ShardRuns:    cfg.ShardRuns,
+		Batch:        cfg.Batch,
+		Tenants:      cfg.Tenants,
+		Quantum:      cfg.Quantum,
+	}
+	specBytes, err := json.Marshal(spec)
+	if err != nil {
+		return false, err
+	}
+	plans, err := p.WirePlans(pools)
+	if err != nil {
+		return false, err
+	}
+	// Reorder the plan slice into the pipeline's stream order so fabric
+	// delivery interleaves classes exactly like in-process streaming.
+	sort.SliceStable(plans, func(a, b int) bool {
+		if plans[a].Start != plans[b].Start {
+			return plans[a].Start < plans[b].Start
+		}
+		return plans[a].Class < plans[b].Class
+	})
+	var journal *fabric.Journal
+	if cfg.Fabric.Journal != "" {
+		digest := fabric.CampaignDigest(specBytes)
+		journal, err = fabric.OpenJournal(cfg.Fabric.journalPath(spec, digest), digest)
+		if err != nil {
+			return false, err
+		}
+		defer journal.Close()
+	}
+	pool, err := fabric.StartPool(ctx, fabric.PoolConfig{
+		Bin:   bin,
+		Env:   cfg.Fabric.Env,
+		Spec:  specBytes,
+		Procs: cfg.Processes,
+		TCP:   cfg.Fabric.TCP,
+	})
+	if err != nil {
+		return false, err
+	}
+	defer pool.Close()
+	coord := &fabric.Coordinator{Dispatcher: pool, Journal: journal}
+	err = coord.RunStream(ctx, plans, func(i int, payload []byte) error {
+		profs, err := pipeline.DecodeProfiles(payload)
+		if err != nil {
+			return err
+		}
+		pl := plans[i]
+		if len(profs) != pl.Count {
+			return fmt.Errorf("repro: monitor shard %d returned %d profiles, plan says %d", pl.Index, len(profs), pl.Count)
+		}
+		for off := 0; off < len(profs); off += batch {
+			n := batch
+			if rem := len(profs) - off; rem < n {
+				n = rem
+			}
+			if err := consume(core.Window{Shard: pl.Index, Class: pl.Class, Start: pl.Start + off, Profiles: profs[off : off+n]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	switch {
+	case errors.Is(err, pipeline.ErrStop):
+		return true, nil
+	case err == nil:
+		return false, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return false, &pipeline.Cancelled{Stage: "fabric stream", Err: err}
+	default:
+		return false, err
+	}
+}
