@@ -17,7 +17,7 @@ BENCH_JSON ?= BENCH_PR$(BENCH_PR).json
 # Key micro/campaign benches tracked across PRs.
 BENCH_KEY = BenchmarkClassifyMNIST$$|BenchmarkClassifyBatch|BenchmarkCacheAccess$$|BenchmarkEngineLoadHot$$|BenchmarkEngineLoadRange$$|BenchmarkBranchPredict$$|BenchmarkPMUMeasure$$|BenchmarkAttackStage|BenchmarkArchIDStage|BenchmarkTopoStage|BenchmarkMonitorStream
 
-.PHONY: all build vet lint test race bench bench-json allocgate benchsmoke fabricsmoke batchsmoke streamsmoke ci golden
+.PHONY: all build vet lint test race bench bench-json allocgate benchsmoke fabricsmoke batchsmoke streamsmoke obssmoke ci golden
 
 all: build
 
@@ -59,9 +59,10 @@ bench-json:
 
 # Allocation gate: the hot paths (Hierarchy.Access, Engine.Load on a
 # cached line, PMU.MeasureOnceInto steady state, the stream stage's
-# window emission) must stay at 0 allocs/op.
+# window emission, and the nil-Recorder telemetry hooks) must stay at
+# 0 allocs/op.
 allocgate:
-	$(GO) test -run 'ZeroAlloc' ./internal/march/... ./internal/hpc ./internal/pipeline
+	$(GO) test -run 'ZeroAlloc' ./internal/march/... ./internal/hpc ./internal/pipeline ./internal/obs
 
 # Fast hot-path smoke: catches order-of-magnitude regressions in seconds.
 benchsmoke:
@@ -107,10 +108,28 @@ streamsmoke:
 	cmp $$tmp/batch.csv $$tmp/stream.csv; \
 	echo "streamsmoke: streamed-to-exhaustion and batch distributions are byte-identical"
 
+# Telemetry smoke: a fully-traced multi-process campaign must emit a
+# schema-valid Chrome trace while leaving the distribution CSV
+# byte-identical to the untraced run — telemetry is observational
+# output only, never an input.
+obssmoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf '"$$tmp" EXIT; \
+	$(GO) build -o $$tmp/shardworker ./cmd/shardworker; \
+	$(GO) build -o $$tmp/obsview ./cmd/obsview; \
+	$(GO) run ./cmd/evaluate -dataset mnist -classes 1,2 -runs 30 -workers 2 -seed 17 \
+		-processes 2 -worker-bin $$tmp/shardworker -csv $$tmp/plain.csv >/dev/null; \
+	$(GO) run ./cmd/evaluate -dataset mnist -classes 1,2 -runs 30 -workers 2 -seed 17 \
+		-processes 2 -worker-bin $$tmp/shardworker -csv $$tmp/traced.csv \
+		-trace $$tmp/campaign.trace -obs $$tmp/campaign.jsonl >/dev/null; \
+	cmp $$tmp/plain.csv $$tmp/traced.csv; \
+	$$tmp/obsview -check $$tmp/campaign.trace; \
+	test -s $$tmp/campaign.jsonl; \
+	echo "obssmoke: traced and untraced distributions are byte-identical; trace is schema-valid"
+
 # Regenerate all four golden reports (end-to-end evaluation, attack
 # stage, architecture fingerprinting, topology recovery) after a
 # *deliberate* behavior change (review the diff before committing it).
 golden:
 	$(GO) test -run 'TestGoldenReport|TestAttackGoldenReport|TestArchIDGoldenReport|TestTopoGoldenReport|TestGoldenMonitor' -update .
 
-ci: vet build lint race allocgate benchsmoke fabricsmoke batchsmoke streamsmoke bench
+ci: vet build lint race allocgate benchsmoke fabricsmoke batchsmoke streamsmoke obssmoke bench

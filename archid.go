@@ -19,6 +19,7 @@ import (
 	"repro/internal/archid"
 	"repro/internal/hpc"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // ArchIDResult is the fingerprinting stage's output: attacker confusion
@@ -55,6 +56,9 @@ type ArchIDConfig struct {
 	Processes int
 	// Fabric configures the fabric when Processes ≥ 1.
 	Fabric FabricConfig
+	// Obs, when non-nil, records campaign telemetry. Observational
+	// output only — results are byte-identical with or without it.
+	Obs *obs.Recorder
 }
 
 // ArchZoo returns the scenario's candidate-architecture hypothesis space:
@@ -107,6 +111,7 @@ func (s *Scenario) ArchIDGrouped(ctx context.Context, level DefenseLevel, cfg Ar
 		DisableRuntime: s.Config.DisableRuntime,
 		DisableNoise:   s.Config.DisableNoise,
 		NoPad:          cfg.NoPad,
+		Obs:            cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

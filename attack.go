@@ -17,6 +17,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -62,6 +63,9 @@ type AttackConfig struct {
 	// of this size (core.Config.Batch). Attribution is exact, so results
 	// are byte-identical at any batch size. Default 1.
 	Batch int
+	// Obs, when non-nil, records campaign telemetry. Observational
+	// output only: results are byte-identical with or without it.
+	Obs *obs.Recorder
 }
 
 func (c AttackConfig) withDefaults() AttackConfig {
@@ -128,6 +132,7 @@ func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg At
 			Events:       cfg.Events[lo:hi],
 			RunsPerClass: total,
 			Batch:        cfg.Batch,
+			Obs:          cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -136,6 +141,7 @@ func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg At
 			Workers:   cfg.Workers,
 			RootSeed:  core.DeriveSeed(seed, g, 2),
 			ShardRuns: cfg.ShardRuns,
+			Obs:       cfg.Obs,
 		})
 	}
 
@@ -189,6 +195,8 @@ func (s *Scenario) AttackGrouped(ctx context.Context, level DefenseLevel, cfg At
 		joinProfiles(byClass, part)
 	}
 
+	cfg.Obs.SetPhase("attack")
+	defer cfg.Obs.Span("pipeline", "attack").End()
 	profSet, atkSet, err := attack.Split(byClass, cfg.ProfileRuns)
 	if err != nil {
 		return nil, err

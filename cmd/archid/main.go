@@ -32,6 +32,7 @@ import (
 	"repro/internal/archid"
 	"repro/internal/hpc"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -50,6 +51,8 @@ func main() {
 		maxInputs   = flag.Int("max-inputs", 0, "cap on the shared input pool; 0 = all test images")
 		noPad       = flag.Bool("nopad", false, "disable constant-time envelope padding (ablation)")
 		jsonPath    = flag.String("json", "", "write the result as JSON to this file")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event timeline of the campaign to this file")
+		obsPath     = flag.String("obs", "", "stream telemetry events to this file as JSONL")
 	)
 	flag.Parse()
 
@@ -82,6 +85,11 @@ func main() {
 	fmt.Printf("fingerprinting a %d-architecture zoo on %s inputs at defense %s (%d events)...\n\n",
 		zoo.Len(), *dsName, level, len(evs))
 
+	rec, obsFinish, err := obs.FileRecorder(*tracePath, *obsPath, "archid")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	res, err := s.ArchID(ctx, repro.ArchIDConfig{
 		Events:      evs,
 		ProfileRuns: *profileRuns,
@@ -91,8 +99,12 @@ func main() {
 		Seed:        *seed,
 		MaxInputs:   *maxInputs,
 		NoPad:       *noPad,
+		Obs:         rec,
 	})
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obsFinish(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -25,6 +25,7 @@ import (
 
 	"repro"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -44,6 +45,8 @@ func main() {
 		seed        = flag.Int64("seed", 0, "campaign root seed; 0 = scenario seed")
 		batch       = flag.Int("batch", 1, "inputs classified per batched replay session; attribution is exact, so results match -batch 1 byte-for-byte")
 		jsonPath    = flag.String("json", "", "write the result as JSON to this file")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event timeline of the campaign to this file")
+		obsPath     = flag.String("obs", "", "stream telemetry events to this file as JSONL")
 	)
 	flag.Parse()
 
@@ -80,6 +83,11 @@ func main() {
 	fmt.Printf("profiling %d + attacking %d classifications per category for categories %v (%d events, root seed %d)...\n\n",
 		*profileRuns, *attackRuns, cls, len(evs), *seed)
 
+	rec, obsFinish, err := obs.FileRecorder(*tracePath, *obsPath, "attack")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	res, err := s.Attack(ctx, repro.AttackConfig{
 		Classes:     cls,
 		Events:      evs,
@@ -89,8 +97,12 @@ func main() {
 		Workers:     *workers,
 		Seed:        *seed,
 		Batch:       *batch,
+		Obs:         rec,
 	})
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obsFinish(); err != nil {
 		log.Fatal(err)
 	}
 

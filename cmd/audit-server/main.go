@@ -10,10 +10,12 @@
 //
 // API:
 //
-//	POST /campaigns      {"stage":"report","scenario":{"dataset":"mnist",...},...}
-//	                     → 202 {"id":1,"state":"queued"}
-//	GET  /campaigns      → every campaign, submission order
-//	GET  /campaigns/1    → state + report once done
+//	POST /campaigns             {"stage":"report","scenario":{"dataset":"mnist",...},...}
+//	                            → 202 {"id":1,"state":"queued"}
+//	GET  /campaigns             → every campaign, submission order
+//	GET  /campaigns/1           → state + report once done
+//	GET  /campaigns/1/progress  → live telemetry: stage, shards done/total, elapsed
+//	GET  /metrics               → server-wide counter totals, text format
 //
 // Every report is byte-reproducible: a campaign's bytes depend only on
 // its request, never on the queue around it or the process count.
@@ -29,6 +31,7 @@ import (
 
 	"repro"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -44,8 +47,8 @@ func main() {
 	flag.Parse()
 
 	fc := repro.FabricConfig{WorkerBin: *workerBin, Journal: *journal, TCP: *fabricTCP}
-	s := newServer(func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
-		return runCampaign(ctx, req, *processes, fc)
+	s := newServer(func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
+		return runCampaign(ctx, req, *processes, fc, rec)
 	})
 	defer s.Close()
 
@@ -53,8 +56,10 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, s.handler()))
 }
 
-// runCampaign executes one queued request with the real repro stages.
-func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc repro.FabricConfig) (json.RawMessage, error) {
+// runCampaign executes one queued request with the real repro stages,
+// recording progress telemetry into rec (served live on the campaign's
+// /progress endpoint; report bytes never depend on it).
+func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc repro.FabricConfig, rec *obs.Recorder) (json.RawMessage, error) {
 	level, err := repro.ParseDefense(req.Scenario.Defense)
 	if err != nil {
 		return nil, err
@@ -95,6 +100,7 @@ func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc rep
 			Seed:         req.Seed,
 			Processes:    processes,
 			Fabric:       fc,
+			Obs:          rec,
 		})
 	case repro.StageAttack:
 		result, err = s.Attack(ctx, repro.AttackConfig{
@@ -106,6 +112,7 @@ func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc rep
 			Seed:        req.Seed,
 			Processes:   processes,
 			Fabric:      fc,
+			Obs:         rec,
 		})
 	case repro.StageArchID:
 		result, err = s.ArchID(ctx, repro.ArchIDConfig{
@@ -117,6 +124,7 @@ func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc rep
 			Seed:        req.Seed,
 			Processes:   processes,
 			Fabric:      fc,
+			Obs:         rec,
 		})
 	case repro.StageMonitor:
 		// The monitor report leads with the first-detection trace count:
@@ -132,6 +140,7 @@ func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc rep
 			NoStop:    req.NoStop,
 			Processes: processes,
 			Fabric:    fc,
+			Obs:       rec,
 		})
 	case repro.StageTopo:
 		result, err = s.Topo(ctx, repro.TopoConfig{
@@ -142,6 +151,7 @@ func runCampaign(ctx context.Context, req CampaignRequest, processes int, fc rep
 			Seed:      req.Seed,
 			Processes: processes,
 			Fabric:    fc,
+			Obs:       rec,
 		})
 	default:
 		return nil, fmt.Errorf("unknown stage %q", req.Stage)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // CampaignRequest is the POST /campaigns body: one audit campaign,
@@ -67,11 +68,17 @@ type campaign struct {
 	Error     string          `json:"error,omitempty"`
 	Report    json.RawMessage `json:"report,omitempty"`
 	Submitted time.Time       `json:"submitted"`
+
+	// rec is the campaign's telemetry recorder, armed when the campaign
+	// starts running. Observational output only: the report bytes never
+	// depend on it. Unexported, so campaign JSON is unchanged.
+	rec *obs.Recorder
 }
 
-// runFunc executes one campaign and returns its JSON report. main
-// installs runCampaign; tests install fakes.
-type runFunc func(ctx context.Context, req CampaignRequest) (json.RawMessage, error)
+// runFunc executes one campaign and returns its JSON report, recording
+// progress telemetry into rec. main installs runCampaign; tests install
+// fakes.
+type runFunc func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error)
 
 // server queues campaigns and serves their reports. Campaigns run one
 // at a time in submission order — the fabric already parallelizes
@@ -79,6 +86,13 @@ type runFunc func(ctx context.Context, req CampaignRequest) (json.RawMessage, er
 // is reproducible independent of what else was submitted.
 type server struct {
 	run runFunc
+	// clock is the server's only wall-clock source (display-only fields
+	// like Submitted and /metrics uptime; no campaign bytes derive from
+	// it). Tests inject fakes.
+	clock obs.Clock
+	// metrics aggregates finished campaigns' counters for GET /metrics;
+	// its elapsed gauge is the server uptime.
+	metrics *obs.Recorder
 
 	mu        sync.Mutex
 	campaigns map[int]*campaign
@@ -90,8 +104,14 @@ type server struct {
 }
 
 func newServer(run runFunc) *server {
+	return newServerWithClock(run, obs.SystemClock())
+}
+
+func newServerWithClock(run runFunc, clock obs.Clock) *server {
 	s := &server{
 		run:       run,
+		clock:     clock,
+		metrics:   obs.New(obs.Config{Clock: clock, Label: "audit-server"}),
 		campaigns: map[int]*campaign{},
 		nextID:    1,
 		queue:     make(chan int, 1024),
@@ -107,10 +127,11 @@ func (s *server) worker() {
 		s.mu.Lock()
 		c := s.campaigns[id]
 		c.State = stateRunning
-		req := c.Request
+		c.rec = obs.New(obs.Config{Clock: s.clock, Label: fmt.Sprintf("campaign-%d", id)})
+		req, rec := c.Request, c.rec
 		s.mu.Unlock()
 
-		report, err := s.run(context.Background(), req)
+		report, err := s.run(context.Background(), req, rec)
 
 		s.mu.Lock()
 		if err != nil {
@@ -119,6 +140,12 @@ func (s *server) worker() {
 		} else {
 			c.State = stateDone
 			c.Report = report
+		}
+		// Fold the finished campaign's counters into the server-wide
+		// /metrics totals (running campaigns are visible per-campaign via
+		// their /progress endpoint until they land here).
+		for _, ctr := range obs.AllCounters() {
+			s.metrics.Add(ctr, rec.Get(ctr))
 		}
 		s.mu.Unlock()
 	}
@@ -135,6 +162,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/campaigns", s.handleCampaigns)
 	mux.HandleFunc("/campaigns/", s.handleCampaign)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -157,8 +185,10 @@ func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		id := s.nextID
 		s.nextID++
-		//detlint:allow seedpurity — Submitted is display-only operator telemetry; no campaign bytes derive from it
-		c := &campaign{ID: id, State: stateQueued, Request: req, Submitted: time.Now().UTC()}
+		// Submitted is display-only operator telemetry read off the obs
+		// clock — the repo's one sanctioned wall-clock source; no campaign
+		// bytes derive from it.
+		c := &campaign{ID: id, State: stateQueued, Request: req, Submitted: s.clock.Now().UTC()}
 		s.campaigns[id] = c
 		s.order = append(s.order, id)
 		s.mu.Unlock()
@@ -177,14 +207,19 @@ func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleCampaign serves GET /campaigns/<id>: state plus, once done, the
-// full JSON report.
+// handleCampaign serves GET /campaigns/<id> (state plus, once done, the
+// full JSON report) and GET /campaigns/<id>/progress (live telemetry).
 func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/campaigns/"))
+	rest := strings.TrimPrefix(r.URL.Path, "/campaigns/")
+	sub := ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest, sub = rest[:i], rest[i+1:]
+	}
+	id, err := strconv.Atoi(rest)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "campaign ids are integers")
 		return
@@ -199,7 +234,48 @@ func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no campaign %d", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, c)
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, c)
+	case "progress":
+		// Every read below is nil-safe: a queued campaign has no recorder
+		// yet and reports zeros.
+		writeJSON(w, http.StatusOK, progressJSON{
+			ID:          c.ID,
+			State:       c.State,
+			Phase:       c.rec.Phase(),
+			ShardsDone:  c.rec.Get(obs.CShardsDone),
+			ShardsTotal: c.rec.Get(obs.CShardsPlanned),
+			ElapsedMS:   c.rec.ElapsedMS(),
+		})
+	default:
+		httpError(w, http.StatusNotFound, "no campaign resource %q", sub)
+	}
+}
+
+// handleMetrics serves GET /metrics: the server-wide counter totals over
+// finished campaigns in obs's fixed-order text format, with the elapsed
+// gauge reporting server uptime.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.WriteMetrics(w)
+}
+
+// progressJSON is the GET /campaigns/<id>/progress body: the campaign's
+// live stage, shard progress and elapsed wall time.
+type progressJSON struct {
+	ID          int           `json:"id"`
+	State       campaignState `json:"state"`
+	Phase       string        `json:"phase,omitempty"`
+	ShardsDone  int64         `json:"shards_done"`
+	ShardsTotal int64         `json:"shards_total"`
+	ElapsedMS   int64         `json:"elapsed_ms"`
 }
 
 // snapshot copies a campaign under the caller's lock so handlers never

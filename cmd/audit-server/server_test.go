@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // newTestServer builds a server around run and an httptest front-end.
@@ -68,7 +69,7 @@ func waitState(t *testing.T, ts *httptest.Server, id int, want campaignState) ca
 const validBody = `{"stage":"report","scenario":{"dataset":"mnist","defense":"baseline"}}`
 
 func TestServerQueuesAndServesReport(t *testing.T) {
-	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
 		return json.RawMessage(fmt.Sprintf(`{"stage":%q,"ok":true}`, req.Stage)), nil
 	})
 
@@ -102,7 +103,7 @@ func TestServerRunsCampaignsSequentiallyInOrder(t *testing.T) {
 	var mu sync.Mutex
 	var ran []string
 	running := 0
-	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
 		mu.Lock()
 		running++
 		if running > 1 {
@@ -138,7 +139,7 @@ func TestServerRunsCampaignsSequentiallyInOrder(t *testing.T) {
 }
 
 func TestServerReportsCampaignFailure(t *testing.T) {
-	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
 		return nil, fmt.Errorf("synthetic campaign failure")
 	})
 	resp := postCampaign(t, ts, validBody)
@@ -157,7 +158,7 @@ func TestServerReportsCampaignFailure(t *testing.T) {
 }
 
 func TestServerRejectsBadRequests(t *testing.T) {
-	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
 		t.Error("run called for a rejected request")
 		return nil, nil
 	})
@@ -185,7 +186,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 }
 
 func TestServerListsCampaignsAndHandles404(t *testing.T) {
-	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
 		return json.RawMessage(`{}`), nil
 	})
 	var lastID int
@@ -250,12 +251,99 @@ func TestResponseBytesMatchLegacyMapEncoding(t *testing.T) {
 	}
 }
 
+// TestServerProgressAndMetrics: the /progress endpoint serves a running
+// campaign's live stage and shard counts straight off its recorder, and
+// /metrics folds finished campaigns into the server-wide totals.
+func TestServerProgressAndMetrics(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
+		rec.SetPhase("collect")
+		rec.Add(obs.CShardsPlanned, 8)
+		rec.Add(obs.CShardsDone, 3)
+		close(started)
+		<-release
+		rec.Add(obs.CShardsDone, 5)
+		return json.RawMessage(`{}`), nil
+	})
+
+	resp := postCampaign(t, ts, validBody)
+	var ack enqueuedJSON
+	decodeBody(t, resp, &ack)
+	<-started
+
+	getProgress := func() progressJSON {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/campaigns/%d/progress", ts.URL, ack.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("progress status = %d, want 200", resp.StatusCode)
+		}
+		var p progressJSON
+		decodeBody(t, resp, &p)
+		return p
+	}
+
+	p := getProgress()
+	if p.State != stateRunning || p.Phase != "collect" || p.ShardsDone != 3 || p.ShardsTotal != 8 {
+		t.Fatalf("mid-campaign progress = %+v, want running/collect 3 of 8", p)
+	}
+
+	close(release)
+	waitState(t, ts, ack.ID, stateDone)
+	p = getProgress()
+	if p.State != stateDone || p.ShardsDone != 8 || p.ShardsTotal != 8 {
+		t.Fatalf("finished progress = %+v, want done 8 of 8", p)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q, want text/plain", ct)
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := body.String()
+	for _, want := range []string{"obs_shards_planned 8\n", "obs_shards_done 8\n", "obs_elapsed_ms "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServerProgressErrors: unknown campaigns and unknown sub-resources
+// under /campaigns/<id>/ both 404.
+func TestServerProgressErrors(t *testing.T) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	})
+	for _, path := range []string{"/campaigns/99/progress", "/campaigns/99", "/campaigns/1/bogus"} {
+		resp := postCampaign(t, ts, validBody) // ensure campaign 1 exists for the bogus case
+		resp.Body.Close()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
 // TestServerMonitorStage: the monitor stage is accepted, its knobs reach
 // the runner, and the served report surfaces the first-detection trace
 // count — the number a fleet operator reads off the endpoint.
 func TestServerMonitorStage(t *testing.T) {
 	var got CampaignRequest
-	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest) (json.RawMessage, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, req CampaignRequest, rec *obs.Recorder) (json.RawMessage, error) {
 		got = req
 		return json.RawMessage(`{"name":"mnist/baseline","stopped":true,"detection":{"event_name":"cache-misses","traces":58},"traces_seen":58}`), nil
 	})

@@ -30,6 +30,7 @@ import (
 
 	"repro"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -51,6 +52,9 @@ func main() {
 		workerBin = flag.String("worker-bin", "", "shardworker binary for -processes (default $REPRO_SHARDWORKER)")
 		journal   = flag.String("journal", "", "shard-completion journal base path; reruns resume finished shards")
 		fabricTCP = flag.Bool("fabric-tcp", false, "dispatch fabric shards over loopback TCP instead of pipes")
+
+		tracePath = flag.String("trace", "", "write a Chrome trace_event timeline of the campaign to this file (open in Perfetto / chrome://tracing, validate with obsview -check)")
+		obsPath   = flag.String("obs", "", "stream telemetry events to this file as JSONL")
 	)
 	flag.Parse()
 
@@ -93,11 +97,19 @@ func main() {
 		fmt.Printf("collecting %d classifications per category for categories %v...\n", *runs, cls)
 	}
 
+	// Telemetry is observational output only: the report below is
+	// byte-identical whether or not a recorder is armed.
+	rec, obsFinish, err := obs.FileRecorder(*tracePath, *obsPath, "evaluate")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	evalCfg := repro.EvalConfig{
 		Classes: cls, Events: evs, RunsPerClass: *runs, Alpha: *alpha,
 		Workers: nw, Seed: *seed, Batch: *batch,
 		Processes: *processes,
 		Fabric:    repro.FabricConfig{WorkerBin: *workerBin, Journal: *journal, TCP: *fabricTCP},
+		Obs:       rec,
 	}
 	var rep *repro.Report
 	if grouped {
@@ -106,6 +118,9 @@ func main() {
 		rep, err = s.Evaluate(evalCfg)
 	}
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obsFinish(); err != nil {
 		log.Fatal(err)
 	}
 

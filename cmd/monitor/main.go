@@ -31,6 +31,7 @@ import (
 
 	"repro"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -61,6 +62,9 @@ func main() {
 		workerBin = flag.String("worker-bin", "", "shardworker binary for -processes (default $REPRO_SHARDWORKER)")
 		journal   = flag.String("journal", "", "shard-completion journal base path; reruns resume finished shards")
 		fabricTCP = flag.Bool("fabric-tcp", false, "dispatch fabric shards over loopback TCP instead of pipes")
+
+		tracePath = flag.String("trace", "", "write a Chrome trace_event timeline of the campaign to this file")
+		obsPath   = flag.String("obs", "", "stream telemetry events to this file as JSONL")
 	)
 	flag.Parse()
 
@@ -91,6 +95,11 @@ func main() {
 			*budget, cls, *alpha, nw, *seed)
 	}
 
+	rec, obsFinish, err := obs.FileRecorder(*tracePath, *obsPath, "monitor")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	rep, err := s.MonitorCtx(context.Background(), repro.MonitorConfig{
 		Classes: cls, Events: evs, Budget: *budget, Alpha: *alpha,
 		Workers: nw, Seed: *seed, Batch: *batch,
@@ -98,7 +107,11 @@ func main() {
 		Tenants: *tenants, Quantum: *quantum,
 		Processes: *processes,
 		Fabric:    repro.FabricConfig{WorkerBin: *workerBin, Journal: *journal, TCP: *fabricTCP},
+		Obs:       rec,
 	})
+	if err == nil {
+		err = obsFinish()
+	}
 	if err != nil {
 		var c *pipeline.Cancelled
 		if errors.As(err, &c) {

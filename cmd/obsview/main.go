@@ -1,0 +1,146 @@
+// Command obsview inspects Chrome trace_event files produced by the
+// repro observability layer (-trace flags, obs.Recorder.WriteTrace).
+//
+//	obsview -check trace.json     # validate the trace schema, exit non-zero on problems
+//	obsview -summary trace.json   # per-category span counts and total duration
+//
+// Validated traces load in chrome://tracing or https://ui.perfetto.dev.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// rawTraceEvent mirrors the trace_event JSON schema for validation.
+type rawTraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   *int64 `json:"ts"`
+	Dur  int64  `json:"dur"`
+	PID  *int   `json:"pid"`
+	TID  *int   `json:"tid"`
+}
+
+// rawTraceFile is the top-level trace_event object.
+type rawTraceFile struct {
+	TraceEvents []rawTraceEvent `json:"traceEvents"`
+}
+
+// Summary aggregates a validated trace.
+type Summary struct {
+	Events    int
+	Spans     int
+	Instants  int
+	Metadata  int
+	Processes int
+	TotalDur  int64 // µs summed over spans
+	ByCat     map[string]int
+}
+
+// Check validates a trace_event JSON stream: a traceEvents array whose
+// entries carry a known phase, a name, pid/tid, sane timestamps, and
+// non-negative durations. It returns an aggregate summary on success.
+func Check(r io.Reader) (*Summary, error) {
+	dec := json.NewDecoder(r)
+	var tf rawTraceFile
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	if tf.TraceEvents == nil {
+		return nil, fmt.Errorf("missing traceEvents array")
+	}
+	s := &Summary{ByCat: make(map[string]int)}
+	pids := make(map[int]bool)
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" {
+			return nil, fmt.Errorf("event %d: missing name", i)
+		}
+		if e.PID == nil || e.TID == nil {
+			return nil, fmt.Errorf("event %d (%s): missing pid/tid", i, e.Name)
+		}
+		pids[*e.PID] = true
+		switch e.Ph {
+		case "X":
+			if e.TS == nil {
+				return nil, fmt.Errorf("event %d (%s): span without ts", i, e.Name)
+			}
+			if *e.TS < 0 || e.Dur < 0 {
+				return nil, fmt.Errorf("event %d (%s): negative ts/dur", i, e.Name)
+			}
+			s.Spans++
+			s.TotalDur += e.Dur
+			s.ByCat[e.Cat]++
+		case "i":
+			if e.TS == nil || *e.TS < 0 {
+				return nil, fmt.Errorf("event %d (%s): instant without sane ts", i, e.Name)
+			}
+			s.Instants++
+			s.ByCat[e.Cat]++
+		case "M":
+			s.Metadata++
+		default:
+			return nil, fmt.Errorf("event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+		s.Events++
+	}
+	s.Processes = len(pids)
+	if s.Spans+s.Instants == 0 {
+		return nil, fmt.Errorf("trace has no spans or instants")
+	}
+	return s, nil
+}
+
+func (s *Summary) write(w io.Writer) {
+	fmt.Fprintf(w, "events    %d\n", s.Events)
+	fmt.Fprintf(w, "spans     %d\n", s.Spans)
+	fmt.Fprintf(w, "instants  %d\n", s.Instants)
+	fmt.Fprintf(w, "processes %d\n", s.Processes)
+	fmt.Fprintf(w, "span_us   %d\n", s.TotalDur)
+	cats := make([]string, 0, len(s.ByCat))
+	for c := range s.ByCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		name := c
+		if name == "" {
+			name = "(none)"
+		}
+		fmt.Fprintf(w, "cat %-12s %d\n", name, s.ByCat[c])
+	}
+}
+
+func main() {
+	check := flag.Bool("check", false, "validate the trace schema and exit")
+	summary := flag.Bool("summary", false, "print per-category span counts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obsview [-check|-summary] trace.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsview:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	s, err := Check(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsview:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *check:
+		fmt.Printf("ok: %d events, %d spans, %d processes\n", s.Events, s.Spans, s.Processes)
+	case *summary:
+		s.write(os.Stdout)
+	default:
+		s.write(os.Stdout)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -64,6 +65,9 @@ func main() {
 		workerBin = flag.String("worker-bin", "", "shardworker binary for -processes (default $REPRO_SHARDWORKER)")
 		journal   = flag.String("journal", "", "shard-completion journal base path; reruns resume finished shards")
 		fabricTCP = flag.Bool("fabric-tcp", false, "dispatch fabric shards over loopback TCP instead of pipes")
+
+		tracePath = flag.String("trace", "", "write a Chrome trace_event timeline of the sweep to this file")
+		obsPath   = flag.String("obs", "", "stream telemetry events to this file as JSONL")
 	)
 	flag.Parse()
 	if *format != "csv" && *format != "json" {
@@ -71,6 +75,10 @@ func main() {
 	}
 
 	cls, err := repro.ParseClasses(*classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, obsFinish, err := obs.FileRecorder(*tracePath, *obsPath, "sweep")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +99,7 @@ func main() {
 		TopoHoldout:  *topoHoldout,
 		Processes:    *processes,
 		Fabric:       repro.FabricConfig{WorkerBin: *workerBin, Journal: *journal, TCP: *fabricTCP},
+		Obs:          rec,
 		Scenario: repro.ScenarioConfig{
 			PerClassTrain: *perTrain,
 			PerClassTest:  *perTest,
@@ -131,6 +140,9 @@ func main() {
 			done, total, r.Dataset, r.Defense, r.Runs, r.EventSet, r.Alarms, attackInfo, float64(r.WallMS))
 	})
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obsFinish(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -30,6 +30,7 @@ import (
 	"repro"
 	"repro/internal/hpc"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/topo"
 )
@@ -49,6 +50,8 @@ func main() {
 		seed      = flag.Int64("seed", 0, "campaign root seed; 0 = scenario seed")
 		maxInputs = flag.Int("max-inputs", 0, "cap on the shared input pool; 0 = all test images")
 		jsonPath  = flag.String("json", "", "write the result as JSON to this file")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event timeline of the campaign to this file")
+		obsPath   = flag.String("obs", "", "stream telemetry events to this file as JSONL")
 	)
 	flag.Parse()
 
@@ -71,6 +74,11 @@ func main() {
 	fmt.Printf("reconstructing %d held-out architectures (training zoo %d) on %s inputs at defense %s...\n\n",
 		*holdout, *trainZoo, *dsName, level)
 
+	rec, obsFinish, err := obs.FileRecorder(*tracePath, *obsPath, "topo")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	res, err := s.TopoGrouped(ctx, level, repro.TopoConfig{
 		Events:    evs,
 		TrainZoo:  *trainZoo,
@@ -80,8 +88,12 @@ func main() {
 		Workers:   *workers,
 		Seed:      *seed,
 		MaxInputs: *maxInputs,
+		Obs:       rec,
 	})
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obsFinish(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/hpc"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 	"repro/internal/topo"
@@ -335,6 +336,11 @@ func collectFabric(ctx context.Context, p *pipeline.Pipeline, pools map[int][]*t
 	if err != nil {
 		return nil, err
 	}
+	rec := p.Config().Obs
+	rec.Add(obs.CShardsPlanned, int64(len(plans)))
+	rec.SetPhase("collect")
+	stage := rec.Span("fabric", "collect")
+	defer stage.End()
 	var journal *fabric.Journal
 	if fc.Journal != "" {
 		digest := fabric.CampaignDigest(specBytes)
@@ -350,12 +356,13 @@ func collectFabric(ctx context.Context, p *pipeline.Pipeline, pools map[int][]*t
 		Spec:  specBytes,
 		Procs: procs,
 		TCP:   fc.TCP,
+		Obs:   rec,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer pool.Close()
-	payloads, err := (&fabric.Coordinator{Dispatcher: pool, Journal: journal}).Run(ctx, plans)
+	payloads, err := (&fabric.Coordinator{Dispatcher: pool, Journal: journal, Obs: rec}).Run(ctx, plans)
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/march"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
@@ -92,6 +93,9 @@ type Config struct {
 	// PaddedEnvelope deployments otherwise apply (ablation: shows that
 	// per-kernel constant time alone does not hide the architecture).
 	NoPad bool
+	// Obs, when non-nil, records campaign telemetry. Observational
+	// output only — results are byte-identical with or without it.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -246,6 +250,7 @@ func (c *Campaign) sessionPipeline(events []march.Event, session int) (*pipeline
 	ev, err := core.NewEvaluator(core.Config{
 		Events:       events,
 		RunsPerClass: c.cfg.ProfileRuns + c.cfg.AttackRuns,
+		Obs:          c.cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -254,6 +259,7 @@ func (c *Campaign) sessionPipeline(events []march.Event, session int) (*pipeline
 		Workers:   c.cfg.Workers,
 		RootSeed:  core.DeriveSeed(c.cfg.Seed, session, seedDomainPipeline),
 		ShardRuns: c.cfg.ShardRuns,
+		Obs:       c.cfg.Obs,
 	})
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/hpc"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
@@ -99,6 +100,12 @@ type Config struct {
 	// HolmCorrection additionally reports family-wise-corrected decisions
 	// across all pairs of one event (an extension beyond the paper).
 	HolmCorrection bool
+	// Obs receives collection telemetry (windows emitted, profiles
+	// collected, engine load/store tallies). Telemetry is observational
+	// output only — it never influences collection — and the field is
+	// excluded from JSON so Report.Config round-trips unchanged whether
+	// or not a recorder was attached.
+	Obs *obs.Recorder `json:"-"`
 }
 
 func (c Config) withDefaults() Config {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hpc"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
@@ -374,3 +375,8 @@ func (ev *Evaluator) BuildReport(name string, d *Distributions, tests []PairTest
 
 // Config returns the evaluator's (defaults-applied) configuration.
 func (ev *Evaluator) Config() Config { return ev.cfg }
+
+// SetObs attaches (or detaches, with nil) a telemetry recorder after
+// construction. Fabric workers use this: the recorder is only created
+// once the init frame arrives, after the runner's evaluator is built.
+func (ev *Evaluator) SetObs(r *obs.Recorder) { ev.cfg.Obs = r }

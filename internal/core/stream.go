@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -49,6 +50,19 @@ func (ev *Evaluator) CollectShardEmit(ctx context.Context, target Target, sh Sha
 	if err != nil {
 		return err
 	}
+	if rec := ev.cfg.Obs; rec != nil {
+		// Per-shard engine tally, flushed into the recorder when the
+		// shard finishes. Attached after warm-up so only measured
+		// operations count; detached before return so a pooled engine
+		// never tallies into a stale shard.
+		hot := &obs.HotCounters{}
+		eng := target.Engine()
+		eng.SetHotCounters(hot)
+		defer func() {
+			eng.SetHotCounters(nil)
+			rec.FlushHot(hot)
+		}()
+	}
 	batch := ev.cfg.Batch
 	scratch := make([]hpc.Profile, batch)
 	for i := range scratch {
@@ -81,6 +95,10 @@ func (ev *Evaluator) emitWindows(ctx context.Context, pmu *hpc.PMU, b *shardBatc
 		if err := emit(Window{Shard: sh.Index, Class: sh.Class, Start: run, Profiles: scratch[:n]}); err != nil {
 			return err
 		}
+		// Nil-safe telemetry tallies: atomic adds, no allocation, no
+		// effect on the emitted observations.
+		ev.cfg.Obs.Add(obs.CWindowsEmitted, 1)
+		ev.cfg.Obs.Add(obs.CProfilesCollected, int64(n))
 	}
 	return nil
 }

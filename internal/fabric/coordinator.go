@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -30,6 +31,10 @@ type Coordinator struct {
 	// shards are served from it without re-execution) and appended to
 	// after every completed shard.
 	Journal *Journal
+	// Obs receives campaign progress telemetry: journal skips and
+	// appends, shards completed. Observational output only — the plan
+	// order, dispatch decisions and merged bytes ignore it.
+	Obs *obs.Recorder
 }
 
 // Run executes every plan and returns the result payloads in plan order:
@@ -45,6 +50,8 @@ func (c *Coordinator) Run(ctx context.Context, plans []pipeline.Plan) ([][]byte,
 		if c.Journal != nil {
 			if p, ok := c.Journal.Payload(pl.Index); ok {
 				payloads[i] = p
+				c.Obs.Add(obs.CJournalSkips, 1)
+				c.Obs.Add(obs.CShardsDone, 1)
 				continue
 			}
 		}
@@ -91,8 +98,10 @@ func (c *Coordinator) Run(ctx context.Context, plans []pipeline.Plan) ([][]byte,
 						fail(err)
 						return
 					}
+					c.Obs.Add(obs.CJournalAppends, 1)
 				}
 				payloads[i] = payload
+				c.Obs.Add(obs.CShardsDone, 1)
 			}
 		}()
 	}
@@ -134,6 +143,8 @@ func (c *Coordinator) RunStream(ctx context.Context, plans []pipeline.Plan, deli
 		if c.Journal != nil {
 			if p, ok := c.Journal.Payload(pl.Index); ok {
 				ready[i] <- p
+				c.Obs.Add(obs.CJournalSkips, 1)
+				c.Obs.Add(obs.CShardsDone, 1)
 				continue
 			}
 		}
@@ -177,7 +188,9 @@ func (c *Coordinator) RunStream(ctx context.Context, plans []pipeline.Plan, deli
 							fail(err)
 							return
 						}
+						c.Obs.Add(obs.CJournalAppends, 1)
 					}
+					c.Obs.Add(obs.CShardsDone, 1)
 					ready[i] <- payload // cap 1: never blocks
 				}
 			}()

@@ -11,6 +11,7 @@ package fabric
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -20,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -27,10 +29,14 @@ import (
 // reports — enough to show a panic or a failure message, never unbounded.
 const stderrTailLimit = 8 << 10
 
-// tailBuffer keeps the last stderrTailLimit bytes written to it.
+// tailBuffer keeps the last stderrTailLimit bytes written to it and
+// records how much it had to drop — a truncated tail must say so, or an
+// over-chatty worker's first (usually most informative) output vanishes
+// silently from every error report.
 type tailBuffer struct {
-	mu  sync.Mutex
-	buf []byte
+	mu      sync.Mutex
+	buf     []byte
+	dropped int64
 }
 
 func (t *tailBuffer) Write(p []byte) (int, error) {
@@ -39,6 +45,7 @@ func (t *tailBuffer) Write(p []byte) (int, error) {
 	t.buf = append(t.buf, p...)
 	if over := len(t.buf) - stderrTailLimit; over > 0 {
 		t.buf = t.buf[over:]
+		t.dropped += int64(over)
 	}
 	return len(p), nil
 }
@@ -46,7 +53,18 @@ func (t *tailBuffer) Write(p []byte) (int, error) {
 func (t *tailBuffer) String() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return strings.TrimSpace(string(t.buf))
+	tail := strings.TrimSpace(string(t.buf))
+	if t.dropped > 0 {
+		return fmt.Sprintf("[tail truncated, %d bytes dropped] %s", t.dropped, tail)
+	}
+	return tail
+}
+
+// Dropped reports how many stderr bytes fell off the retained tail.
+func (t *tailBuffer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // PoolConfig configures a shardworker pool.
@@ -65,6 +83,12 @@ type PoolConfig struct {
 	// TCP switches the transport from stdio pipes to a loopback TCP
 	// connection per worker (workers are launched with -connect addr).
 	TCP bool
+	// Obs, when non-nil, arms the fabric's telemetry: workers are asked
+	// (via the init frame envelope, never the spec) to ship their spans
+	// and counters back over telemetry frames, transports count frames
+	// and bytes, and worker exits are recorded as events. The campaign's
+	// bytes are identical with or without it.
+	Obs *obs.Recorder
 }
 
 // worker is one shardworker process and its protocol channel.
@@ -77,6 +101,38 @@ type worker struct {
 	stderr   *tailBuffer
 	waitOnce sync.Once
 	waitErr  error
+	exitOnce sync.Once // exit telemetry is recorded exactly once
+}
+
+// countingWriter tallies bytes written to a worker into the pool
+// recorder; Close passes through so stdio-mode shutdown still works.
+type countingWriter struct {
+	w   io.WriteCloser
+	rec *obs.Recorder
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 {
+		c.rec.Add(obs.CBytesSent, int64(n))
+	}
+	return n, err
+}
+
+func (c *countingWriter) Close() error { return c.w.Close() }
+
+// countingReader tallies bytes read from a worker into the pool recorder.
+type countingReader struct {
+	r   io.Reader
+	rec *obs.Recorder
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.rec.Add(obs.CBytesReceived, int64(n))
+	}
+	return n, err
 }
 
 // kill tears the worker down hard: closing the TCP conn (if any) and
@@ -176,7 +232,7 @@ func (p *ProcPool) spawn(ctx context.Context, id int, ln net.Listener) (*worker,
 		if err != nil {
 			return nil, err
 		}
-		w.in, w.out = in, bufio.NewReader(out)
+		w.in, w.out = in, bufio.NewReader(p.countReads(out))
 		if err := cmd.Start(); err != nil {
 			return nil, fmt.Errorf("fabric: starting worker %d (%s): %w", id, p.cfg.Bin, err)
 		}
@@ -198,10 +254,13 @@ func (p *ProcPool) spawn(ctx context.Context, id int, ln net.Listener) (*worker,
 		}
 		w.conn = conn
 		w.in = conn
-		w.out = bufio.NewReader(conn)
+		w.out = bufio.NewReader(p.countReads(conn))
+	}
+	if p.cfg.Obs != nil {
+		w.in = &countingWriter{w: w.in, rec: p.cfg.Obs}
 	}
 
-	if err := WriteFrame(w.in, Frame{Type: TypeInit, Spec: p.cfg.Spec}); err != nil {
+	if err := p.writeTo(w, Frame{Type: TypeInit, Spec: p.cfg.Spec, Obs: p.cfg.Obs != nil}); err != nil {
 		w.kill()
 		return nil, fmt.Errorf("fabric: initializing worker %d: %v (%s)", id, err, w.describe())
 	}
@@ -220,6 +279,44 @@ func (p *ProcPool) spawn(ctx context.Context, id int, ln net.Listener) (*worker,
 		return nil, fmt.Errorf("fabric: worker %d sent %q during handshake, want %q", id, f.Type, TypeReady)
 	}
 	return w, nil
+}
+
+// countReads wraps a worker transport's read side with byte telemetry
+// when the pool recorder is armed; obs-off pools read the raw transport.
+func (p *ProcPool) countReads(r io.Reader) io.Reader {
+	if p.cfg.Obs == nil {
+		return r
+	}
+	return &countingReader{r: r, rec: p.cfg.Obs}
+}
+
+// writeTo sends one frame to a worker, tallying the frame counter.
+func (p *ProcPool) writeTo(w *worker, f Frame) error {
+	err := WriteFrame(w.in, f)
+	if err == nil {
+		p.cfg.Obs.Add(obs.CFramesSent, 1)
+	}
+	return err
+}
+
+// noteExit records a worker's fate — exit status and whether its stderr
+// tail lost bytes — as telemetry, exactly once per worker.
+func (p *ProcPool) noteExit(w *worker) {
+	rec := p.cfg.Obs
+	if rec == nil {
+		return
+	}
+	w.exitOnce.Do(func() {
+		status := "exited cleanly"
+		if err := w.wait(); err != nil {
+			status = err.Error()
+		}
+		if dropped := w.stderr.Dropped(); dropped > 0 {
+			status = fmt.Sprintf("%s; stderr tail truncated (%d bytes dropped)", status, dropped)
+		}
+		rec.MarkExtra(w.id, "fabric", "worker-exit", status)
+		rec.Add(obs.CWorkerExits, 1)
+	})
 }
 
 // readFrom reads one frame from a worker under a context watchdog: if
@@ -245,6 +342,7 @@ func (p *ProcPool) readFrom(ctx context.Context, w *worker) (Frame, error) {
 		}
 		return Frame{}, fmt.Errorf("%s: %v", w.describe(), err)
 	}
+	p.cfg.Obs.Add(obs.CFramesReceived, 1)
 	return f, nil
 }
 
@@ -266,6 +364,7 @@ func (p *ProcPool) Dispatch(ctx context.Context, plan pipeline.Plan) ([]byte, er
 		// return it to the pool.
 		w.kill()
 		w.wait()
+		p.noteExit(w)
 		return nil, err
 	}
 	select {
@@ -277,13 +376,25 @@ func (p *ProcPool) Dispatch(ctx context.Context, plan pipeline.Plan) ([]byte, er
 }
 
 func (p *ProcPool) dispatchTo(ctx context.Context, w *worker, plan pipeline.Plan) ([]byte, error) {
-	if err := WriteFrame(w.in, Frame{Type: TypeShard, Plan: &plan}); err != nil {
+	sp := p.cfg.Obs.SpanT(w.id, "fabric", "dispatch")
+	defer sp.End()
+	p.cfg.Obs.Add(obs.CShardsDispatched, 1)
+	if err := p.writeTo(w, Frame{Type: TypeShard, Plan: &plan}); err != nil {
 		w.kill()
 		return nil, fmt.Errorf("fabric: sending shard %d: %v (%s)", plan.Index, err, w.describe())
 	}
 	f, err := p.readFrom(ctx, w)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: shard %d: %w", plan.Index, err)
+	}
+	// A worker ships telemetry frames ahead of its result; ingest them
+	// and keep reading — the dispatch still ends on result or error.
+	for f.Type == TypeTelemetry {
+		p.ingestTelemetry(f)
+		f, err = p.readFrom(ctx, w)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: shard %d: %w", plan.Index, err)
+		}
 	}
 	switch f.Type {
 	case TypeResult:
@@ -301,6 +412,19 @@ func (p *ProcPool) dispatchTo(ctx context.Context, w *worker, plan pipeline.Plan
 	}
 }
 
+// ingestTelemetry merges one telemetry frame into the pool recorder. A
+// malformed payload is dropped — telemetry must never fail a campaign.
+func (p *ProcPool) ingestTelemetry(f Frame) {
+	if p.cfg.Obs == nil {
+		return
+	}
+	var t obs.Telemetry
+	if err := json.Unmarshal(f.Payload, &t); err != nil {
+		return
+	}
+	p.cfg.Obs.Merge(t)
+}
+
 // Procs reports the pool's process count.
 func (p *ProcPool) Procs() int { return p.cfg.Procs }
 
@@ -313,7 +437,7 @@ func (p *ProcPool) Close() error {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			WriteFrame(w.in, Frame{Type: TypeShutdown})
+			p.writeTo(w, Frame{Type: TypeShutdown})
 			if w.conn == nil {
 				w.in.Close()
 			}
@@ -331,6 +455,7 @@ func (p *ProcPool) Close() error {
 			if w.conn != nil {
 				w.conn.Close()
 			}
+			p.noteExit(w)
 		}(w)
 	}
 	wg.Wait()

@@ -1,0 +1,124 @@
+package fabric
+
+// ProcPool process-level tests. The test binary doubles as the worker
+// process: TestMain re-executes itself as a protocol-speaking fake
+// shardworker when FABRIC_TEST_WORKER is set, so the pool is exercised
+// against a real subprocess without building cmd/shardworker.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("FABRIC_TEST_WORKER") != "" {
+		runChattyWorker()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runChattyWorker speaks the worker protocol on stdio after spewing far
+// more stderr than the pool's retained tail.
+func runChattyWorker() {
+	chunk := bytes.Repeat([]byte("chatter "), 512) // 4 KiB per write
+	for i := 0; i < 8; i++ {                       // 32 KiB total, 4x the tail limit
+		os.Stderr.Write(chunk)
+	}
+	br := bufio.NewReader(os.Stdin)
+	f, err := ReadFrame(br)
+	if err != nil || f.Type != TypeInit {
+		os.Exit(2)
+	}
+	if err := WriteFrame(os.Stdout, Frame{Type: TypeReady}); err != nil {
+		os.Exit(2)
+	}
+	for {
+		f, err := ReadFrame(br)
+		if err != nil || f.Type == TypeShutdown {
+			return
+		}
+		if f.Type == TypeShard {
+			WriteFrame(os.Stdout, Frame{Type: TypeError, Index: f.Plan.Index, Err: "chatty worker declines every shard"})
+		}
+	}
+}
+
+// TestTailBufferRecordsTruncation: an over-limit stderr stream keeps the
+// newest bytes, counts the dropped ones, and says so in error text.
+func TestTailBufferRecordsTruncation(t *testing.T) {
+	tb := &tailBuffer{}
+	tb.Write(bytes.Repeat([]byte("a"), stderrTailLimit))
+	if tb.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d before overflow, want 0", tb.Dropped())
+	}
+	if strings.Contains(tb.String(), "truncated") {
+		t.Fatalf("untruncated tail claims truncation: %q", tb.String()[:60])
+	}
+	tb.Write([]byte("bbbb"))
+	if tb.Dropped() != 4 {
+		t.Fatalf("Dropped() = %d after 4-byte overflow, want 4", tb.Dropped())
+	}
+	s := tb.String()
+	if !strings.HasPrefix(s, "[tail truncated, 4 bytes dropped] ") {
+		t.Fatalf("truncated tail does not say so: %q", s[:60])
+	}
+	if !strings.HasSuffix(s, "bbbb") {
+		t.Fatalf("tail lost the newest bytes: %q", s[len(s)-20:])
+	}
+}
+
+// TestProcPoolChattyWorkerExitTelemetry: a worker that floods stderr
+// past the retained tail gets its truncation recorded — in the dispatch
+// error text and in the worker-exit obs event — instead of its earliest
+// output vanishing silently.
+func TestProcPoolChattyWorkerExitTelemetry(t *testing.T) {
+	ctx := context.Background()
+	rec := obs.New(obs.Config{Label: "pool-test"})
+	pool, err := StartPool(ctx, PoolConfig{
+		Bin:   os.Args[0],
+		Env:   []string{"FABRIC_TEST_WORKER=1"},
+		Spec:  []byte(`{"fixture":true}`),
+		Procs: 1,
+		Obs:   rec,
+	})
+	if err != nil {
+		t.Fatalf("StartPool: %v", err)
+	}
+	defer pool.Close()
+
+	if _, err := pool.Dispatch(ctx, pipeline.Plan{Index: 0, Class: 0, Start: 0, Count: 1, Seed: 1}); err == nil {
+		t.Fatal("Dispatch succeeded against the declining worker")
+	}
+	pool.Close()
+
+	tel := rec.Drain()
+	var exit *obs.Event
+	for i, e := range tel.Events {
+		if e.Cat == "fabric" && e.Name == "worker-exit" {
+			exit = &tel.Events[i]
+		}
+	}
+	if exit == nil {
+		t.Fatalf("no worker-exit event in telemetry (%d events)", len(tel.Events))
+	}
+	if !strings.Contains(exit.Extra, "stderr tail truncated") || !strings.Contains(exit.Extra, "bytes dropped") {
+		t.Fatalf("worker-exit event does not record the truncation: %q", exit.Extra)
+	}
+	exits := int64(0)
+	for _, cv := range tel.Counters {
+		if cv.C == obs.CWorkerExits {
+			exits = cv.N
+		}
+	}
+	if exits != 1 {
+		t.Fatalf("worker_exits counter = %d, want 1 (exit telemetry must be once per worker)", exits)
+	}
+}

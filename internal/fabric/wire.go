@@ -58,6 +58,15 @@ const (
 	TypeError = "error"
 	// TypeShutdown asks the worker to exit cleanly, coordinator → worker.
 	TypeShutdown = "shutdown"
+	// TypeTelemetry carries a worker's drained obs.Telemetry (spans and
+	// counter deltas), worker → coordinator, immediately before the shard's
+	// result frame. Telemetry frames are observational only: they carry no
+	// Digest, are excluded from PayloadDigest and the campaign digest by
+	// construction (neither covers them), and are only ever sent when the
+	// coordinator asked for them in the init frame — so an obs-off campaign
+	// sees a byte-identical frame sequence to every earlier protocol
+	// version.
+	TypeTelemetry = "telemetry"
 )
 
 // Frame is the single message envelope of the worker protocol.
@@ -76,6 +85,11 @@ type Frame struct {
 	Digest  string `json:"digest,omitempty"`
 	// Err is the failure description (error frames).
 	Err string `json:"err,omitempty"`
+	// Obs asks the worker to collect and ship telemetry (init frames).
+	// It rides the frame envelope, NOT the campaign spec: the spec bytes
+	// feed CampaignDigest and the journals, and toggling observability
+	// must never change a campaign's identity.
+	Obs bool `json:"obs,omitempty"`
 }
 
 // WriteFrame serializes one frame as a 4-byte big-endian length prefix

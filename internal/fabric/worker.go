@@ -8,10 +8,12 @@ package fabric
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -19,6 +21,13 @@ import (
 // satisfies it; repro's worker glue builds one from a campaign spec.
 type Runner interface {
 	Execute(ctx context.Context, plan pipeline.Plan) ([]hpc.Profile, error)
+}
+
+// obsSettable is the optional runner seam for worker-side telemetry: a
+// runner implementing it (e.g. *pipeline.Executor) gets the recorder
+// Serve creates when the coordinator's init frame requests telemetry.
+type obsSettable interface {
+	SetObs(*obs.Recorder)
 }
 
 // BuildRunner constructs the campaign runner from the opaque spec in the
@@ -58,6 +67,13 @@ func Serve(ctx context.Context, r io.Reader, w io.Writer, build BuildRunner, opt
 		WriteFrame(w, Frame{Type: TypeError, Err: werr.Error()})
 		return werr
 	}
+	var rec *obs.Recorder
+	if init.Obs {
+		rec = obs.New(obs.Config{Label: "shardworker"})
+		if s, ok := runner.(obsSettable); ok {
+			s.SetObs(rec)
+		}
+	}
 	if err := WriteFrame(w, Frame{Type: TypeReady}); err != nil {
 		return err
 	}
@@ -82,13 +98,23 @@ func Serve(ctx context.Context, r io.Reader, w io.Writer, build BuildRunner, opt
 					return failShard(w, fmt.Errorf("fabric: shard %d: %w", f.Plan.Index, err))
 				}
 			}
+			sp := rec.ShardSpan(0, f.Plan.Index, f.Plan.Class)
 			profs, err := runner.Execute(ctx, *f.Plan)
+			sp.End()
 			if err != nil {
 				return failShard(w, fmt.Errorf("fabric: shard %d: %w", f.Plan.Index, err))
 			}
 			payload, err := pipeline.EncodeProfiles(profs)
 			if err != nil {
 				return failShard(w, fmt.Errorf("fabric: shard %d: %w", f.Plan.Index, err))
+			}
+			// Ship the worker's telemetry BEFORE the result, so the
+			// coordinator's per-dispatch read loop ingests it and still
+			// ends on the result frame it is waiting for.
+			if rec != nil {
+				if err := writeTelemetry(w, rec, f.Plan.Index); err != nil {
+					return err
+				}
 			}
 			res := Frame{
 				Type:    TypeResult,
@@ -116,4 +142,18 @@ func Serve(ctx context.Context, r io.Reader, w io.Writer, build BuildRunner, opt
 func failShard(w io.Writer, err error) error {
 	WriteFrame(w, Frame{Type: TypeError, Err: err.Error()})
 	return err
+}
+
+// writeTelemetry drains the worker recorder and sends the deltas as a
+// telemetry frame for shard index. An empty drain sends nothing.
+func writeTelemetry(w io.Writer, rec *obs.Recorder, index int) error {
+	t := rec.Drain()
+	if len(t.Events) == 0 && len(t.Counters) == 0 {
+		return nil
+	}
+	payload, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("fabric: encoding telemetry: %w", err)
+	}
+	return WriteFrame(w, Frame{Type: TypeTelemetry, Index: index, Payload: payload})
 }

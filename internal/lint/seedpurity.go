@@ -5,7 +5,7 @@ package lint
 // randomness or ambient process state is banned unless it is derived from
 // a campaign seed. Flagged:
 //
-//   - time.Now / time.Since (wall clock),
+//   - time.Now / time.Since (wall clock), called or taken as a value,
 //   - os.Getpid (process identity),
 //   - the global math/rand functions (process-global, cross-goroutine
 //     nondeterministic source),
@@ -14,8 +14,11 @@ package lint
 //     name mentions "seed", or calls into the seed-derivation helpers
 //     (core.DeriveSeed / SplitMix64) — the repo's seed-domain idiom.
 //
-// Display-only uses (wall-clock telemetry, IO deadlines) carry
-// //detlint:allow seedpurity — <reason>.
+// internal/obs is the one sanctioned clock owner: all wall-clock reads
+// live there behind the injectable obs.Clock, so the analyzer exempts it
+// entirely (even under -dir) and everything else routes clocks through
+// an obs.Recorder or obs.Clock. Remaining display-only uses that cannot
+// (IO deadlines) carry //detlint:allow seedpurity — <reason>.
 
 import (
 	"go/ast"
@@ -62,31 +65,67 @@ func inDeterministicScope(pass *Pass) bool {
 }
 
 func runSeedpurity(pass *Pass) {
+	// internal/obs is the sole sanctioned clock owner: its whole purpose
+	// is wrapping the wall clock behind the injectable obs.Clock, so it
+	// is exempt even when pointed at explicitly. The suffix match covers
+	// both the module path and the synthetic detlintdir/obs path a
+	// `detlint -dir internal/obs` load produces.
+	if pathIn(pass.Path, "repro/internal/obs") || strings.HasSuffix(pass.Path, "/obs") {
+		return
+	}
 	if !inDeterministicScope(pass) {
 		return
 	}
 	for _, file := range pass.Files {
+		// Selector expressions that are a call's operator are diagnosed as
+		// calls; the second walk flags the remaining *value* references
+		// (e.g. `clock := time.Now`), which smuggle the wall clock past a
+		// call-site-only check.
+		asCallee := map[ast.Expr]bool{}
 		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			if call, ok := n.(*ast.CallExpr); ok {
+				asCallee[ast.Unparen(call.Fun)] = true
 			}
-			switch {
-			case isPkgFunc(pass.Info, call, "time", "Now"), isPkgFunc(pass.Info, call, "time", "Since"):
-				pass.Reportf(call.Pos(), "wall clock in deterministic package %s: campaign bytes must not depend on time", pass.Path)
-			case isPkgFunc(pass.Info, call, "os", "Getpid"):
-				pass.Reportf(call.Pos(), "os.Getpid in deterministic package %s: campaign bytes must not depend on process identity", pass.Path)
-			case globalRandCall(pass.Info, call):
-				pass.Reportf(call.Pos(), "global math/rand source in deterministic package %s: use rand.New(rand.NewSource(seed)) with a campaign-derived seed", pass.Path)
-			case isPkgFunc(pass.Info, call, "math/rand", "NewSource") || isPkgFunc(pass.Info, call, "math/rand/v2", "NewPCG"):
-				if len(call.Args) > 0 && !allTraceable(pass.Info, call.Args) {
-					pass.Reportf(call.Pos(), "rand source seeded by %s, which is not traceable to a campaign seed (only literals, *seed* identifiers and seed-derivation calls pass)",
-						exprString(pass.Fset, call.Args[0]))
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				call := n
+				switch {
+				case isPkgFunc(pass.Info, call, "time", "Now"), isPkgFunc(pass.Info, call, "time", "Since"):
+					pass.Reportf(call.Pos(), "wall clock in deterministic package %s: campaign bytes must not depend on time (route clocks through internal/obs)", pass.Path)
+				case isPkgFunc(pass.Info, call, "os", "Getpid"):
+					pass.Reportf(call.Pos(), "os.Getpid in deterministic package %s: campaign bytes must not depend on process identity", pass.Path)
+				case globalRandCall(pass.Info, call):
+					pass.Reportf(call.Pos(), "global math/rand source in deterministic package %s: use rand.New(rand.NewSource(seed)) with a campaign-derived seed", pass.Path)
+				case isPkgFunc(pass.Info, call, "math/rand", "NewSource") || isPkgFunc(pass.Info, call, "math/rand/v2", "NewPCG"):
+					if len(call.Args) > 0 && !allTraceable(pass.Info, call.Args) {
+						pass.Reportf(call.Pos(), "rand source seeded by %s, which is not traceable to a campaign seed (only literals, *seed* identifiers and seed-derivation calls pass)",
+							exprString(pass.Fset, call.Args[0]))
+					}
+				}
+			case *ast.SelectorExpr:
+				if asCallee[ast.Expr(n)] {
+					return true
+				}
+				if isTimeClockRef(pass.Info, n) {
+					pass.Reportf(n.Pos(), "wall-clock function time.%s taken as a value in deterministic package %s: inject an obs.Clock instead", n.Sel.Name, pass.Path)
 				}
 			}
 			return true
 		})
 	}
+}
+
+// isTimeClockRef reports whether sel references the time.Now or
+// time.Since function itself (not as a call).
+func isTimeClockRef(info *types.Info, sel *ast.SelectorExpr) bool {
+	f, _ := info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" {
+		return false
+	}
+	return f.Name() == "Now" || f.Name() == "Since"
 }
 
 // globalRandCall reports whether the call uses math/rand's process-global

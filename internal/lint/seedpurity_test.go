@@ -1,0 +1,24 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSeedpurityExemptsObsClockOwner: internal/obs is the repo's one
+// sanctioned wall-clock owner — it reads time.Now directly to implement
+// obs.Clock — and must stay finding-free without allow directives even
+// when loaded explicitly (detlint -dir), which normally runs the
+// path-scoped analyzers unconditionally.
+func TestSeedpurityExemptsObsClockOwner(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("..", "obs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pkg.ExplicitDir {
+		t.Fatal("LoadDir package not marked ExplicitDir; the exemption would not be exercised")
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{Seedpurity}) {
+		t.Errorf("seedpurity flagged the sanctioned clock owner: %s", d)
+	}
+}

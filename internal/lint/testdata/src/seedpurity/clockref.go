@@ -1,0 +1,34 @@
+// The clock-ownership half of the seedpurity fixture: bare references
+// to the wall-clock functions fail — assigning time.Now to a variable
+// smuggles the clock past a call-site-only check — while time injected
+// behind a clock interface (the internal/obs pattern) passes.
+package fixture
+
+import "time"
+
+// failClockValue captures the wall-clock function itself.
+var failClockValue = time.Now // want "taken as a value"
+
+// failSinceValue hands the elapsed-time function to a caller.
+func failSinceValue() func(time.Time) time.Duration {
+	return time.Since // want "taken as a value"
+}
+
+// clock mirrors obs.Clock: the injectable time source instrumented
+// packages use instead of reading the time package directly.
+type clock interface {
+	Now() time.Time
+}
+
+// passInjectedClock reads time through an injected clock — the
+// sanctioned pattern. The interface method call never names the time
+// package, so determinism reviews see exactly where wall time enters.
+func passInjectedClock(c clock) time.Time {
+	return c.Now()
+}
+
+// passTimeValues: time.Time values and arithmetic over them are fine —
+// only the ambient clock sources are banned, not the time package.
+func passTimeValues(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/march/cache"
 	"repro/internal/march/mem"
+	"repro/internal/obs"
 	"repro/internal/raceinfo"
 )
 
@@ -214,4 +215,27 @@ func TestEngineLoadCachedLineZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("Engine.Branch allocates %v/op, want 0", allocs)
 	}
+}
+
+// TestEngineObsHookZeroAlloc is the allocation gate for the telemetry
+// hooks on the engine hot path: with no hot counters attached (the
+// obs-off default) and with a HotCounters block attached, Load and
+// Store must stay at 0 allocs/op — the hook is one nil check plus a
+// plain integer increment, never an interface call or closure.
+func TestEngineObsHookZeroAlloc(t *testing.T) {
+	if raceinfo.Enabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	e := simEngine(t)
+	e.Load(0x9000, 4)
+	for name, hot := range map[string]*obs.HotCounters{"nil": nil, "attached": {}} {
+		e.SetHotCounters(hot)
+		if allocs := testing.AllocsPerRun(1000, func() {
+			e.Load(0x9000, 4)
+			e.Store(0x9000, 4)
+		}); allocs != 0 {
+			t.Fatalf("%s hot counters: Load+Store allocate %v/op, want 0", name, allocs)
+		}
+	}
+	e.SetHotCounters(nil)
 }

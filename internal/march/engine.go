@@ -13,6 +13,7 @@ import (
 	"repro/internal/march/branch"
 	"repro/internal/march/cache"
 	"repro/internal/march/mem"
+	"repro/internal/obs"
 )
 
 // Event identifies a hardware event, mirroring the perf event names used
@@ -272,7 +273,17 @@ type Engine struct {
 	touch2 [touchSlots]cache.Solo
 	llc    *cache.Cache
 	touch3 [touchSlots]cache.Solo
+
+	// Optional telemetry tally. Engines are single-goroutine, so plain
+	// increments suffice; the nil check keeps the hot path allocation-free
+	// and branch-predictable when observability is off.
+	hot *obs.HotCounters
 }
+
+// SetHotCounters attaches a telemetry tally for Load/Store operations.
+// Pass nil to detach. The tally only counts operations — it never feeds
+// back into timing, placement, or any other simulated state.
+func (e *Engine) SetHotCounters(h *obs.HotCounters) { e.hot = h }
 
 // NewEngine builds an engine, filling defaults for nil fields.
 func NewEngine(cfg Config) (*Engine, error) {
@@ -369,6 +380,9 @@ func (e *Engine) maybeYield() {
 //
 //detlint:allocpath
 func (e *Engine) Load(addr mem.Addr, size uint64) {
+	if e.hot != nil {
+		e.hot.Loads++
+	}
 	e.access(addr, size, false)
 	e.maybeYield()
 }
@@ -377,6 +391,9 @@ func (e *Engine) Load(addr mem.Addr, size uint64) {
 //
 //detlint:allocpath
 func (e *Engine) Store(addr mem.Addr, size uint64) {
+	if e.hot != nil {
+		e.hot.Stores++
+	}
 	e.access(addr, size, true)
 	e.maybeYield()
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -42,13 +43,22 @@ func (p *Pipeline) CollectProfilesByClass(ctx context.Context, factory ClassTarg
 	if factory == nil {
 		return nil, fmt.Errorf("pipeline: nil target factory")
 	}
+	rec := p.cfg.Obs
+	rec.SetPhase("plan")
+	plan := rec.Span("pipeline", "plan")
 	shards, err := p.planShards(perClass)
+	plan.End()
 	if err != nil {
 		return nil, err
 	}
+	rec.Add(obs.CShardsPlanned, int64(len(shards)))
+	rec.SetPhase("collect")
+	collect := rec.Span("pipeline", "collect")
 	parts := make([][]hpc.Profile, len(shards))
-	err = p.forEach(ctx, len(shards), func(ctx context.Context, i int) error {
+	err = p.forEach(ctx, len(shards), func(ctx context.Context, w, i int) error {
 		sh := shards[i]
+		sp := rec.ShardSpan(w, sh.Index, sh.Class)
+		defer sp.End()
 		target, err := factory(sh.Class, sh.Seed)
 		if err != nil {
 			return fmt.Errorf("pipeline: shard %d target: %w", sh.Index, err)
@@ -58,11 +68,15 @@ func (p *Pipeline) CollectProfilesByClass(ctx context.Context, factory ClassTarg
 			return err
 		}
 		parts[i] = part
+		rec.Add(obs.CShardsDone, 1)
 		return nil
 	})
+	collect.End()
 	if err != nil {
 		return nil, err
 	}
+	rec.SetPhase("merge")
+	defer rec.Span("pipeline", "merge").End()
 	byClass := map[int][]hpc.Profile{}
 	for i, sh := range shards {
 		if err := p.placeProfiles(byClass, PlanOf(sh), parts[i]); err != nil {
@@ -88,6 +102,8 @@ func (p *Pipeline) Attack(ctx context.Context, name string, factory TargetFactor
 	if err != nil {
 		return nil, err
 	}
+	p.cfg.Obs.SetPhase("attack")
+	defer p.cfg.Obs.Span("pipeline", "attack").End()
 	profSet, atkSet, err := attack.Split(byClass, profileRuns)
 	if err != nil {
 		return nil, err

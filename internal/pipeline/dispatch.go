@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -60,6 +61,11 @@ func NewExecutor(ev *core.Evaluator, factory ClassTargetFactory, pools map[int][
 func (p *Pipeline) Executor(factory ClassTargetFactory, pools map[int][]*tensor.Tensor) (*Executor, error) {
 	return NewExecutor(p.ev, factory, pools)
 }
+
+// SetObs attaches a telemetry recorder to the executor's evaluator.
+// Fabric workers call this through the fabric.obsSettable seam once the
+// init frame requests telemetry.
+func (e *Executor) SetObs(r *obs.Recorder) { e.ev.SetObs(r) }
 
 // Execute runs one plan and returns its per-run profiles. The plan is
 // validated against the executor's campaign configuration first, so a

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	// stage; 0 sizes batches automatically from the job count and worker
 	// count.
 	TestBatch int
+	// Obs receives stage and shard spans plus progress counters. It is
+	// observational output only: a nil recorder (the default) and an
+	// armed one execute the identical shard plan and produce
+	// byte-identical reports.
+	Obs *obs.Recorder `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -112,28 +118,44 @@ func (p *Pipeline) Collect(ctx context.Context, factory TargetFactory, perClass 
 	if factory == nil {
 		return nil, fmt.Errorf("pipeline: nil target factory")
 	}
+	rec := p.cfg.Obs
+	rec.SetPhase("plan")
+	plan := rec.Span("pipeline", "plan")
 	shards, err := p.planShards(perClass)
+	plan.End()
 	if err != nil {
 		return nil, err
 	}
+	rec.Add(obs.CShardsPlanned, int64(len(shards)))
+	rec.SetPhase("collect")
+	collect := rec.Span("pipeline", "collect")
 	parts := make([]*core.Distributions, len(shards))
-	err = p.forEach(ctx, len(shards), func(ctx context.Context, i int) error {
+	err = p.forEach(ctx, len(shards), func(ctx context.Context, w, i int) error {
 		sh := shards[i]
+		sp := rec.ShardSpan(w, sh.Index, sh.Class)
 		target, err := factory(sh.Seed)
 		if err != nil {
+			sp.End()
 			return fmt.Errorf("pipeline: shard %d target: %w", sh.Index, err)
 		}
 		part, err := p.ev.CollectShard(ctx, target, sh)
+		sp.End()
 		if err != nil {
 			return err
 		}
 		parts[i] = part
+		rec.Add(obs.CShardsDone, 1)
 		return nil
 	})
+	collect.End()
 	if err != nil {
 		return nil, err
 	}
-	return p.ev.MergeShards(shards, parts)
+	rec.SetPhase("merge")
+	merge := rec.Span("pipeline", "merge")
+	d, err := p.ev.MergeShards(shards, parts)
+	merge.End()
+	return d, err
 }
 
 // Test batches the pairwise hypothesis tests of collected distributions
@@ -156,7 +178,10 @@ func (p *Pipeline) Test(ctx context.Context, d *core.Distributions) ([]core.Pair
 	}
 	batches := (len(jobs) + batch - 1) / batch
 	tests := make([]core.PairTest, len(jobs))
-	err = p.forEach(ctx, batches, func(ctx context.Context, b int) error {
+	p.cfg.Obs.SetPhase("test")
+	stage := p.cfg.Obs.Span("pipeline", "test")
+	defer stage.End()
+	err = p.forEach(ctx, batches, func(ctx context.Context, w, b int) error {
 		lo := b * batch
 		hi := lo + batch
 		if hi > len(jobs) {
@@ -191,12 +216,18 @@ func (p *Pipeline) Evaluate(ctx context.Context, name string, factory TargetFact
 	if err != nil {
 		return nil, err
 	}
+	p.cfg.Obs.SetPhase("report")
+	sp := p.cfg.Obs.Span("pipeline", "report")
+	defer sp.End()
 	return p.ev.BuildReport(name, d, tests), nil
 }
 
 // forEach runs fn(0..n-1) over the worker pool, stopping on the first
-// error or context cancellation and returning that first error.
-func (p *Pipeline) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+// error or context cancellation and returning that first error. fn
+// additionally receives the worker index w (0..workers-1) running it —
+// telemetry uses it as the span's thread lane; nothing else may, since
+// which worker runs which job is scheduling-dependent.
+func (p *Pipeline) forEach(ctx context.Context, n int, fn func(ctx context.Context, w, i int) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -221,19 +252,19 @@ func (p *Pipeline) forEach(ctx context.Context, n int, fn func(ctx context.Conte
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					fail(err)
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := fn(ctx, w, i); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		select {

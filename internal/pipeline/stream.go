@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hpc"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -119,8 +120,10 @@ func (ss *shardStream) emit(ctx context.Context, events []march.Event, w core.Wi
 // the shard's stream. The win channel is always closed on return, so
 // the merger can detect shard completion (or abort) without extra
 // signalling.
-func (p *Pipeline) produceShard(ctx context.Context, ss *shardStream, factory ClassTargetFactory, sh core.Shard) error {
+func (p *Pipeline) produceShard(ctx context.Context, w int, ss *shardStream, factory ClassTargetFactory, sh core.Shard) error {
 	defer close(ss.win)
+	sp := p.cfg.Obs.ShardSpan(w, sh.Index, sh.Class)
+	defer sp.End()
 	target, err := factory(sh.Class, sh.Seed)
 	if err != nil {
 		return fmt.Errorf("pipeline: shard %d target: %w", sh.Index, err)
@@ -176,6 +179,10 @@ func (p *Pipeline) Stream(ctx context.Context, factory ClassTargetFactory, perCl
 	if err != nil {
 		return false, err
 	}
+	p.cfg.Obs.Add(obs.CShardsPlanned, int64(len(shards)))
+	p.cfg.Obs.SetPhase("stream")
+	stage := p.cfg.Obs.Span("pipeline", "stream")
+	defer stage.End()
 	order := streamOrder(shards)
 	streams := make([]*shardStream, len(shards))
 	for i := range streams {
@@ -195,9 +202,13 @@ func (p *Pipeline) Stream(ctx context.Context, factory ClassTargetFactory, perCl
 	// the merger won't reach.
 	collectErr := make(chan error, 1)
 	go func() {
-		err := p.forEach(streamCtx, len(shards), func(ctx context.Context, i int) error {
+		err := p.forEach(streamCtx, len(shards), func(ctx context.Context, w, i int) error {
 			idx := order[i]
-			return p.produceShard(ctx, streams[idx], factory, shards[idx])
+			if err := p.produceShard(ctx, w, streams[idx], factory, shards[idx]); err != nil {
+				return err
+			}
+			p.cfg.Obs.Add(obs.CShardsDone, 1)
+			return nil
 		})
 		cancel() // wake the merger if producers stopped without closing every stream
 		collectErr <- err

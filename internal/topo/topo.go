@@ -12,6 +12,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/march"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
@@ -73,6 +74,9 @@ type Config struct {
 	DisableRuntime bool
 	// DisableNoise removes measurement noise (deterministic counts).
 	DisableNoise bool
+	// Obs, when non-nil, records campaign telemetry. Observational
+	// output only — results are byte-identical with or without it.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -443,6 +447,7 @@ func (c *Campaign) sessionPipeline(events []march.Event, session int) (*pipeline
 	ev, err := core.NewEvaluator(core.Config{
 		Events:       events,
 		RunsPerClass: c.cfg.Runs,
+		Obs:          c.cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -451,6 +456,7 @@ func (c *Campaign) sessionPipeline(events []march.Event, session int) (*pipeline
 		Workers:   c.cfg.Workers,
 		RootSeed:  core.DeriveSeed(c.cfg.Seed, session, seedDomainPipeline),
 		ShardRuns: c.cfg.ShardRuns,
+		Obs:       c.cfg.Obs,
 	})
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/march"
 	"repro/internal/march/mem"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -78,6 +79,11 @@ type MonitorConfig struct {
 	Processes int
 	// Fabric configures the fabric when Processes ≥ 1.
 	Fabric FabricConfig
+	// Obs, when non-nil, records campaign telemetry (windows emitted,
+	// shard spans, fabric traffic). Observational output only — the
+	// window stream and every monitor decision are identical with or
+	// without it.
+	Obs *obs.Recorder
 }
 
 func (c MonitorConfig) withDefaults() MonitorConfig {
@@ -328,6 +334,7 @@ func (s *Scenario) MonitorCtx(ctx context.Context, cfg MonitorConfig) (*MonitorR
 		RunsPerClass: cfg.Budget,
 		Batch:        cfg.Batch,
 		Method:       method,
+		Obs:          cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -344,6 +351,7 @@ func (s *Scenario) MonitorCtx(ctx context.Context, cfg MonitorConfig) (*MonitorR
 		Workers:   cfg.Workers,
 		RootSeed:  seed,
 		ShardRuns: cfg.ShardRuns,
+		Obs:       cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -491,6 +499,11 @@ func (s *Scenario) monitorFabric(ctx context.Context, p *pipeline.Pipeline, pool
 	if err != nil {
 		return false, err
 	}
+	rec := cfg.Obs
+	rec.Add(obs.CShardsPlanned, int64(len(plans)))
+	rec.SetPhase("stream")
+	stage := rec.Span("fabric", "stream")
+	defer stage.End()
 	// Reorder the plan slice into the pipeline's stream order so fabric
 	// delivery interleaves classes exactly like in-process streaming.
 	sort.SliceStable(plans, func(a, b int) bool {
@@ -514,12 +527,13 @@ func (s *Scenario) monitorFabric(ctx context.Context, p *pipeline.Pipeline, pool
 		Spec:  specBytes,
 		Procs: cfg.Processes,
 		TCP:   cfg.Fabric.TCP,
+		Obs:   rec,
 	})
 	if err != nil {
 		return false, err
 	}
 	defer pool.Close()
-	coord := &fabric.Coordinator{Dispatcher: pool, Journal: journal}
+	coord := &fabric.Coordinator{Dispatcher: pool, Journal: journal, Obs: rec}
 	err = coord.RunStream(ctx, plans, func(i int, payload []byte) error {
 		profs, err := pipeline.DecodeProfiles(payload)
 		if err != nil {

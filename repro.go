@@ -35,6 +35,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/march"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
 )
@@ -359,6 +360,11 @@ type EvalConfig struct {
 	// exact, so any batch size reproduces the batch=1 report
 	// byte-for-byte; it only changes wall-clock. Default 1.
 	Batch int
+	// Obs, when non-nil, records spans, counters and (with Processes ≥ 1)
+	// worker-side telemetry for the campaign. Telemetry is observational
+	// output only: the report is byte-for-byte identical with or without
+	// it, at any worker or process count.
+	Obs *obs.Recorder
 }
 
 // Evaluate runs the paper's Evaluator against the scenario.
@@ -384,6 +390,7 @@ func (s *Scenario) EvaluateCtx(ctx context.Context, cfg EvalConfig) (*Report, er
 		Alpha:        cfg.Alpha,
 		RunsPerClass: cfg.RunsPerClass,
 		Batch:        cfg.Batch,
+		Obs:          cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -412,6 +419,7 @@ func (s *Scenario) EvaluateCtx(ctx context.Context, cfg EvalConfig) (*Report, er
 		Workers:   cfg.Workers,
 		RootSeed:  seed,
 		ShardRuns: cfg.ShardRuns,
+		Obs:       cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hpc"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -88,6 +89,11 @@ type SweepConfig struct {
 	// Scenario is the template for per-dataset scenario construction
 	// (Dataset and Defense are overridden per grid point).
 	Scenario ScenarioConfig
+	// Obs, when non-nil, records telemetry for every cell's campaigns and
+	// supplies the sweep's wall clock (a nil recorder falls back to the
+	// system clock, so WallMS is always populated). Observational output
+	// only — cell results are byte-identical with or without it.
+	Obs *obs.Recorder
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -243,8 +249,11 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 		go func(cl cell) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			//detlint:allow seedpurity — wall-clock telemetry only: start feeds WallMS, which the digest and goldens exclude
-			start := time.Now()
+			// Wall-clock telemetry only: start feeds WallMS, which the
+			// digest and goldens exclude. The obs clock is the repo's one
+			// sanctioned wall-clock source (system clock when cfg.Obs is
+			// nil).
+			start := cfg.Obs.Clock().Now()
 			rep, err := scenarios[cl.dataset].EvaluateGrouped(ctx, cl.defense, EvalConfig{
 				Classes:      cfg.Classes,
 				Events:       cl.events,
@@ -255,6 +264,7 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 				Fabric:       cfg.Fabric,
 				Batch:        cfg.Batch,
 				Seed:         core.DeriveSeed(cfg.Seed, cl.index, 0),
+				Obs:          cfg.Obs,
 			})
 			if err != nil {
 				fail(fmt.Errorf("sweep: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
@@ -275,6 +285,7 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					// Domain 3 keeps attack-stage observations disjoint from
 					// the cell's evaluation campaign (domain 0 above).
 					Seed: core.DeriveSeed(cfg.Seed, cl.index, 3),
+					Obs:  cfg.Obs,
 				})
 				if err != nil {
 					fail(fmt.Errorf("sweep attack: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
@@ -294,6 +305,7 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					// Domain 4 keeps archid observations disjoint from the
 					// cell's evaluation (0) and attack (3) campaigns.
 					Seed: core.DeriveSeed(cfg.Seed, cl.index, 4),
+					Obs:  cfg.Obs,
 				})
 				if err != nil {
 					fail(fmt.Errorf("sweep archid: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
@@ -313,14 +325,14 @@ func SweepProgress(ctx context.Context, cfg SweepConfig, progress func(SweepResu
 					// cell's evaluation (0), attack (3) and archid (4)
 					// campaigns.
 					Seed: core.DeriveSeed(cfg.Seed, cl.index, 5),
+					Obs:  cfg.Obs,
 				})
 				if err != nil {
 					fail(fmt.Errorf("sweep topo: %s/%s runs=%d events=%s: %w", cl.dataset, cl.defense, cl.runs, cl.spec, err))
 					return
 				}
 			}
-			//detlint:allow seedpurity — wall-clock telemetry only: elapsed time lands in WallMS, which the digest and goldens exclude
-			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, atk, arch, tp, time.Since(start))
+			res := summarize(cl.dataset, cl.defense, cl.runs, cl.spec, len(cl.events), rep, atk, arch, tp, cfg.Obs.Clock().Now().Sub(start))
 			grid.Results[cl.index] = res
 			if progress != nil {
 				progressMu.Lock()
@@ -383,6 +395,7 @@ func (s *Scenario) EvaluateGrouped(ctx context.Context, level DefenseLevel, cfg 
 			Alpha:        cfg.Alpha,
 			RunsPerClass: cfg.RunsPerClass,
 			Batch:        cfg.Batch,
+			Obs:          cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -391,6 +404,7 @@ func (s *Scenario) EvaluateGrouped(ctx context.Context, level DefenseLevel, cfg 
 			Workers:   cfg.Workers,
 			RootSeed:  core.DeriveSeed(seed, g, 1),
 			ShardRuns: cfg.ShardRuns,
+			Obs:       cfg.Obs,
 		})
 		if err != nil {
 			return nil, err

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/hpc"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -57,6 +58,9 @@ type TopoConfig struct {
 	Processes int
 	// Fabric configures the fabric when Processes ≥ 1.
 	Fabric FabricConfig
+	// Obs, when non-nil, records campaign telemetry. Observational
+	// output only — results are byte-identical with or without it.
+	Obs *obs.Recorder
 }
 
 // Topo runs the topology-recovery stage against held-out random victims
@@ -101,6 +105,7 @@ func (s *Scenario) TopoGrouped(ctx context.Context, level DefenseLevel, cfg Topo
 		ShardRuns:      cfg.ShardRuns,
 		DisableRuntime: s.Config.DisableRuntime,
 		DisableNoise:   s.Config.DisableNoise,
+		Obs:            cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
